@@ -1,0 +1,53 @@
+// Figure 2: weak scaling on RMAT / RandER / RandHD.
+//
+// Paper: vertices per node fixed at ~2^22, 8..2048 nodes, davg in
+// {16,32,64}, parts = nodes. Here: vertices per rank fixed, 1..8
+// ranks, davg in {16,32}, parts = ranks. Expected shape: RandHD
+// flattest (near-constant time), RMAT steepest and most
+// degree-sensitive (hub-induced imbalance under the 1D distribution).
+#include "bench/bench_common.hpp"
+#include "gen/generators.hpp"
+
+using namespace xtra;
+
+int main() {
+  const double scale = gen::env_scale();
+  const auto verts_per_rank = static_cast<xtra::gid_t>(24'000 * scale);
+
+  std::printf("Fig 2: weak scaling, %llu vertices/rank, parts = ranks\n",
+              static_cast<unsigned long long>(verts_per_rank));
+
+  bench::Table table({{"graph", 9},
+                      {"davg", 6},
+                      {"ranks", 7},
+                      {"n", 10},
+                      {"time(s)", 10},
+                      {"cut", 8}});
+  for (const char* name : {"RMAT", "RandER", "RandHD"}) {
+    for (const count_t davg : {16, 32}) {
+      for (const int nranks : {1, 2, 4, 8}) {
+        const xtra::gid_t n = verts_per_rank * static_cast<xtra::gid_t>(nranks);
+        graph::EdgeList el;
+        if (std::string(name) == "RMAT") {
+          int sc = 0;
+          while ((xtra::gid_t(1) << (sc + 1)) <= n) ++sc;
+          el = gen::rmat(sc, davg, 11);
+        } else if (std::string(name) == "RandER") {
+          el = gen::erdos_renyi(n, davg, 11);
+        } else {
+          el = gen::rand_hd(n, davg, 11);
+        }
+        core::Params params;
+        params.nparts = static_cast<part_t>(std::max(nranks, 2));
+        const bench::RunResult r = bench::run_xtrapulp(el, nranks, params);
+        table.cell(name);
+        table.cell(davg);
+        table.cell(static_cast<count_t>(nranks));
+        table.cell(static_cast<count_t>(el.n));
+        table.cell(r.seconds);
+        table.cell(r.quality.edge_cut_ratio);
+      }
+    }
+  }
+  return 0;
+}

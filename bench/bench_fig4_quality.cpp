@@ -1,0 +1,83 @@
+// Figure 4: partition quality vs number of parts for six graphs,
+// comparing XtraPuLP / PuLP / multilevel (ParMETIS stand-in).
+//
+// Expected shape (paper): nlpkkt-class meshes keep low cut ratios as
+// parts grow; social/rmat cut ratios climb toward 1.0; the three
+// partitioners stay within a modest band of each other on small-world
+// inputs, with multilevel unable to run the largest instances.
+#include "bench/bench_common.hpp"
+#include "baseline/partitioners.hpp"
+#include "gen/suite.hpp"
+
+using namespace xtra;
+
+int main() {
+  const double scale = gen::env_scale() * 0.5;  // 108 runs: keep modest
+  const char* graphs[] = {"lj",        "orkut",   "friendster",
+                          "wdc12-pay", "rmat_14", "nlpkkt_s"};
+  const part_t part_counts[] = {2, 4, 8, 16, 32, 64};
+
+  std::printf("Fig 4: edge cut ratio / scaled max cut vs #parts\n");
+  bench::Table table({{"graph", 13},
+                      {"parts", 7},
+                      {"xp-cut", 9},
+                      {"pulp-cut", 10},
+                      {"ml-cut", 9},
+                      {"xp-maxcut", 11},
+                      {"pulp-maxcut", 13},
+                      {"ml-maxcut", 11}});
+  for (const char* name : graphs) {
+    const graph::EdgeList el = gen::make_suite_graph(name, scale);
+    const baseline::SerialGraph g = baseline::build_serial_graph(el);
+    for (const part_t p : part_counts) {
+      core::Params params;
+      params.nparts = p;
+      const bench::RunResult xp = bench::run_xtrapulp(el, 2, params);
+      const auto pulp_q = metrics::evaluate(
+          el, baseline::pulp_partition(g, p), p);
+      const auto ml_q = metrics::evaluate(
+          el, baseline::multilevel_partition(g, p), p);
+      table.cell(name);
+      table.cell(static_cast<count_t>(p));
+      table.cell(xp.quality.edge_cut_ratio);
+      table.cell(pulp_q.edge_cut_ratio);
+      table.cell(ml_q.edge_cut_ratio);
+      table.cell(xp.quality.scaled_max_cut);
+      table.cell(pulp_q.scaled_max_cut);
+      table.cell(ml_q.scaled_max_cut);
+    }
+  }
+
+  // The paper's aggregate "performance ratios" (§V-B): geometric mean
+  // of each partitioner's cut over the best cut per test.
+  bench::section("performance ratios (geometric mean of cut / best cut)");
+  std::vector<double> rx, rp, rm;
+  for (const char* name : graphs) {
+    const graph::EdgeList el = gen::make_suite_graph(name, scale);
+    const baseline::SerialGraph g = baseline::build_serial_graph(el);
+    for (const part_t p : {4, 16, 64}) {
+      core::Params params;
+      params.nparts = p;
+      const double cx =
+          std::max(bench::run_xtrapulp(el, 2, params).quality.edge_cut_ratio,
+                   1e-9);
+      const double cp = std::max(
+          metrics::evaluate(el, baseline::pulp_partition(g, p), p)
+              .edge_cut_ratio,
+          1e-9);
+      const double cm = std::max(
+          metrics::evaluate(el, baseline::multilevel_partition(g, p), p)
+              .edge_cut_ratio,
+          1e-9);
+      const double best = std::min({cx, cp, cm});
+      rx.push_back(cx / best);
+      rp.push_back(cp / best);
+      rm.push_back(cm / best);
+    }
+  }
+  std::printf("XtraPuLP %.2f   PuLP %.2f   Multilevel %.2f   (lower=better; "
+              "paper: 1.37 / 1.33 / 1.18)\n",
+              metrics::geometric_mean(rx), metrics::geometric_mean(rp),
+              metrics::geometric_mean(rm));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 5: WDC12 partition quality vs rank count (256 parts in the
+// paper; 32 here), plus the block/random reference points quoted in
+// §V-B: "edge cut ratio ... 0.16 for vertex block partitioning and
+// almost 1.0 for random", with block's low cut costing edge imbalance
+// 1.85. Expected shape: XtraPuLP cut stays far below random, roughly
+// stable across rank counts; max-cut ratio drifts up with rank count
+// (the mult throttling effect the paper discusses); edge imbalance
+// stays near 1.1.
+#include "bench/bench_common.hpp"
+#include "baseline/partitioners.hpp"
+#include "gen/generators.hpp"
+
+using namespace xtra;
+
+int main() {
+  const double scale = gen::env_scale();
+  const auto n = static_cast<xtra::gid_t>(120'000 * scale);
+  const part_t nparts = 32;
+  const graph::EdgeList el = graph::symmetrized(gen::webcrawl(n, 24, 5));
+
+  std::printf("Fig 5: WDC12-class quality vs rank count, %d parts\n", nparts);
+  bench::Table table({{"ranks", 7},
+                      {"cut", 9},
+                      {"maxcut", 9},
+                      {"edge-imb", 10},
+                      {"vert-imb", 10}});
+  for (const int nranks : {2, 4, 8}) {
+    core::Params params;
+    params.nparts = nparts;
+    const bench::RunResult r = bench::run_xtrapulp(el, nranks, params);
+    table.cell(static_cast<count_t>(nranks));
+    table.cell(r.quality.edge_cut_ratio);
+    table.cell(r.quality.scaled_max_cut);
+    table.cell(r.quality.edge_imbalance);
+    table.cell(r.quality.vertex_imbalance);
+  }
+
+  bench::section("reference layouts (paper quotes block ~0.16 cut but 1.85 "
+                 "edge imbalance; random ~1.0 cut)");
+  const baseline::SerialGraph g = baseline::build_serial_graph(el);
+  const auto qb = metrics::evaluate(
+      el, baseline::vertex_block_partition(el.n, nparts), nparts);
+  const auto qr = metrics::evaluate(
+      el, baseline::random_partition(el.n, nparts, 3), nparts);
+  (void)g;
+  bench::Table ref({{"layout", 12}, {"cut", 9}, {"edge-imb", 10}});
+  ref.cell(std::string("VertBlock"));
+  ref.cell(qb.edge_cut_ratio);
+  ref.cell(qb.edge_imbalance);
+  ref.cell(std::string("Random"));
+  ref.cell(qr.edge_cut_ratio);
+  ref.cell(qr.edge_imbalance);
+  return 0;
+}

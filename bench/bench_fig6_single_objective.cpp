@@ -1,0 +1,90 @@
+// Figure 6: single-objective / single-constraint comparison against
+// the KaHIP-style SCLP partitioner (Meyerhenke et al. [24]).
+//
+// The paper disables XtraPuLP's edge-balancing stage for a fair
+// single-objective comparison; we do the same (Params::edge_phases =
+// false). Expected shape: SCLP gets the best cut, multilevel close,
+// LP methods slightly behind (paper ratios 1.05 / 1.23 / 1.51 / 1.61
+// for KaHIP / ParMETIS / PuLP / XtraPuLP) — while XtraPuLP/PuLP are
+// far faster than SCLP (paper time ratios 26.5 for Meyerhenke et al.).
+#include "bench/bench_common.hpp"
+#include "baseline/partitioners.hpp"
+#include "gen/suite.hpp"
+
+using namespace xtra;
+
+int main() {
+  const double scale = gen::env_scale();
+  const char* graphs[] = {"lj", "rmat_14", "uk-2002"};
+  const part_t part_counts[] = {2, 8, 32, 64};
+
+  std::printf("Fig 6: single-objective comparison (3%% imbalance)\n");
+  bench::Table table({{"graph", 10},
+                      {"parts", 7},
+                      {"xp-cut", 9},
+                      {"pulp-cut", 10},
+                      {"ml-cut", 9},
+                      {"sclp-cut", 10},
+                      {"xp-t", 8},
+                      {"pulp-t", 8},
+                      {"ml-t", 8},
+                      {"sclp-t", 8}});
+  std::vector<double> rx, rp, rm, rs, tx, tp, tm, ts;
+  for (const char* name : graphs) {
+    const graph::EdgeList el = gen::make_suite_graph(name, scale);
+    const baseline::SerialGraph g = baseline::build_serial_graph(el);
+    for (const part_t p : part_counts) {
+      core::Params params;
+      params.nparts = p;
+      params.vert_imbalance = 0.03;
+      params.edge_phases = false;  // single objective, single constraint
+      const bench::RunResult xp = bench::run_xtrapulp(el, 2, params);
+
+      baseline::BaselineOptions opts;
+      opts.imbalance = 0.03;
+      const auto t_pulp = bench::run_serial_partitioner(
+          el, p, [&] { return baseline::pulp_partition(g, p, opts); });
+      const auto t_ml = bench::run_serial_partitioner(
+          el, p, [&] { return baseline::multilevel_partition(g, p, opts); });
+      const auto t_sclp = bench::run_serial_partitioner(
+          el, p, [&] { return baseline::sclp_partition(g, p, opts); });
+
+      table.cell(name);
+      table.cell(static_cast<count_t>(p));
+      table.cell(xp.quality.edge_cut_ratio);
+      table.cell(t_pulp.quality.edge_cut_ratio);
+      table.cell(t_ml.quality.edge_cut_ratio);
+      table.cell(t_sclp.quality.edge_cut_ratio);
+      table.cell(xp.seconds, "%.2f");
+      table.cell(t_pulp.seconds, "%.2f");
+      table.cell(t_ml.seconds, "%.2f");
+      table.cell(t_sclp.seconds, "%.2f");
+
+      const double best =
+          std::max(std::min({xp.quality.edge_cut_ratio,
+                             t_pulp.quality.edge_cut_ratio,
+                             t_ml.quality.edge_cut_ratio,
+                             t_sclp.quality.edge_cut_ratio}),
+                   1e-9);
+      rx.push_back(std::max(xp.quality.edge_cut_ratio, 1e-9) / best);
+      rp.push_back(std::max(t_pulp.quality.edge_cut_ratio, 1e-9) / best);
+      rm.push_back(std::max(t_ml.quality.edge_cut_ratio, 1e-9) / best);
+      rs.push_back(std::max(t_sclp.quality.edge_cut_ratio, 1e-9) / best);
+      const double tbest = std::min(
+          {xp.seconds, t_pulp.seconds, t_ml.seconds, t_sclp.seconds});
+      tx.push_back(xp.seconds / tbest);
+      tp.push_back(t_pulp.seconds / tbest);
+      tm.push_back(t_ml.seconds / tbest);
+      ts.push_back(t_sclp.seconds / tbest);
+    }
+  }
+  bench::section("performance ratios (cut | time); paper: KaHIP 1.05|26.5, "
+                 "ParMETIS 1.23|11.8, PuLP 1.51|1.27, XtraPuLP 1.61|1.73");
+  std::printf("XtraPuLP %.2f|%.2f  PuLP %.2f|%.2f  ML %.2f|%.2f  SCLP "
+              "%.2f|%.2f\n",
+              metrics::geometric_mean(rx), metrics::geometric_mean(tx),
+              metrics::geometric_mean(rp), metrics::geometric_mean(tp),
+              metrics::geometric_mean(rm), metrics::geometric_mean(tm),
+              metrics::geometric_mean(rs), metrics::geometric_mean(ts));
+  return 0;
+}

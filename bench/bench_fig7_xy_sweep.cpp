@@ -1,0 +1,85 @@
+// Figure 7: the (X, Y) multiplier-parameter sweep — four heatmaps
+// (edge cut, max per-part cut, vertex balance, edge balance) averaged
+// over representative graphs.
+//
+// Expected shape (paper §V-D): low (X,Y) gives the best cut but wild
+// imbalance swings; values above ~1.5 hurt cut; X > Y preferred; the
+// default (X=1.0, Y=0.25) sits on the quality/balance threshold.
+#include "bench/bench_common.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+
+using namespace xtra;
+
+namespace {
+
+struct SweepCell {
+  double cut = 0.0;
+  double maxcut = 0.0;
+  double vimb = 0.0;
+  double eimb = 0.0;
+  int runs = 0;
+};
+
+void print_heatmap(const char* title, const std::vector<double>& xs,
+                   const std::vector<double>& ys,
+                   const std::vector<SweepCell>& cells,
+                   double SweepCell::*field) {
+  std::printf("\n%s (rows: Y, cols: X)\n        ", title);
+  for (const double x : xs) std::printf("X=%-6.2f", x);
+  std::printf("\n");
+  for (std::size_t yi = 0; yi < ys.size(); ++yi) {
+    std::printf("Y=%-5.2f ", ys[yi]);
+    for (std::size_t xi = 0; xi < xs.size(); ++xi)
+      std::printf("%-8.3f", cells[yi * xs.size() + xi].*field);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = gen::env_scale() * 0.5;
+  const std::vector<double> xs = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<double> ys = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+  const char* graphs[] = {"lj", "uk-2002", "rmat_14", "nlpkkt_s"};
+  const part_t nparts = 8;
+  const int nranks = 4;
+
+  std::printf("Fig 7: (X, Y) sweep on %d ranks, %d parts, 4 graph classes\n",
+              nranks, nparts);
+  std::vector<SweepCell> cells(xs.size() * ys.size());
+  for (const char* name : graphs) {
+    const graph::EdgeList el = gen::make_suite_graph(name, scale);
+    for (std::size_t yi = 0; yi < ys.size(); ++yi) {
+      for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+        core::Params params;
+        params.nparts = nparts;
+        params.mult_x = xs[xi];
+        params.mult_y = ys[yi];
+        const bench::RunResult r = bench::run_xtrapulp(el, nranks, params);
+        SweepCell& c = cells[yi * xs.size() + xi];
+        c.cut += r.quality.edge_cut_ratio;
+        c.maxcut += r.quality.scaled_max_cut;
+        c.vimb += r.quality.vertex_imbalance;
+        c.eimb += r.quality.edge_imbalance;
+        ++c.runs;
+      }
+    }
+  }
+  for (SweepCell& c : cells) {
+    c.cut /= c.runs;
+    c.maxcut /= c.runs;
+    c.vimb /= c.runs;
+    c.eimb /= c.runs;
+  }
+  print_heatmap("edge cut ratio (lower better)", xs, ys, cells,
+                &SweepCell::cut);
+  print_heatmap("scaled max cut (lower better)", xs, ys, cells,
+                &SweepCell::maxcut);
+  print_heatmap("vertex imbalance (1.0 ideal, <=1.1 feasible)", xs, ys,
+                cells, &SweepCell::vimb);
+  print_heatmap("edge imbalance (1.0 ideal)", xs, ys, cells,
+                &SweepCell::eimb);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Figure 8: end-to-end analytics on the WDC12-class graph under four
+// partitioning strategies (EdgeBlock, Random, VertBlock, XtraPuLP).
+//
+// The paper runs HC/KC/LP/PR/SCC/WCC on 256 Blue Waters nodes and
+// reports ~30% end-to-end reduction with XtraPuLP partitions
+// (including the partitioning time itself), with the big wins on
+// communication-bound analytics (PR, LP). Per the paper, XtraPuLP here
+// initializes from vertex-block partitioning and runs its balancing
+// stages. Expected shape: XtraPuLP total (incl. partitioning) <
+// EdgeBlock/Random totals; comm volume orders XtraPuLP < VertBlock <
+// EdgeBlock < Random.
+#include <memory>
+
+#include "analytics/analytics.hpp"
+#include "baseline/partitioners.hpp"
+#include "bench/bench_common.hpp"
+#include "gen/generators.hpp"
+
+using namespace xtra;
+
+namespace {
+
+struct StrategyRun {
+  std::string name;
+  double partition_seconds = 0.0;
+  double analytic_seconds[6] = {0, 0, 0, 0, 0, 0};
+  count_t analytic_bytes[6] = {0, 0, 0, 0, 0, 0};
+};
+
+constexpr const char* kAnalytics[6] = {"HC", "KC", "LP", "PR", "SCC", "WCC"};
+
+}  // namespace
+
+int main() {
+  const double scale = gen::env_scale();
+  const auto n = static_cast<xtra::gid_t>(60'000 * scale);
+  const int nranks = 8;
+  const graph::EdgeList directed = gen::webcrawl(n, 20, 7);
+  const graph::EdgeList el = graph::symmetrized(directed);
+  const baseline::SerialGraph sg = baseline::build_serial_graph(el);
+
+  std::printf("Fig 8: analytics on WDC12-class graph (n=%llu, m=%lld) with "
+              
+              "%d ranks\n",
+              static_cast<unsigned long long>(el.n),
+              static_cast<long long>(el.edge_count()), nranks);
+
+  std::vector<StrategyRun> runs;
+  for (const std::string strategy :
+       {"EdgeBlock", "Random", "VertBlock", "XtraPuLP"}) {
+    StrategyRun run;
+    run.name = strategy;
+
+    // Owner map per strategy (parts == ranks for analytics placement).
+    std::vector<part_t> parts;
+    if (strategy == "EdgeBlock") {
+      parts = baseline::edge_block_partition(sg, nranks);
+    } else if (strategy == "Random") {
+      parts = baseline::random_partition(el.n, nranks, 3);
+    } else if (strategy == "VertBlock") {
+      parts = baseline::vertex_block_partition(el.n, nranks);
+    } else {
+      // Paper §V-E: initialize with vertex-block, then run the
+      // balancing stages.
+      core::Params params;
+      params.nparts = nranks;
+      params.init = core::InitStrategy::kBlock;
+      const bench::RunResult r =
+          bench::run_xtrapulp(el, nranks, params, /*random_dist=*/false);
+      parts = r.global_parts;
+      run.partition_seconds = r.seconds;
+    }
+
+    auto owners = std::make_shared<std::vector<int>>(parts.begin(),
+                                                     parts.end());
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto dist =
+          graph::VertexDist::explicit_map(el.n, nranks, owners);
+      // Undirected graph for most analytics; directed for SCC.
+      const auto g = graph::build_dist_graph(comm, el, dist);
+      const auto gd = graph::build_dist_graph(comm, directed, dist);
+      comm.barrier();
+
+      analytics::RunInfo infos[6];
+      infos[0] = analytics::harmonic_centrality(comm, g, 8, 5).info;
+      infos[1] = analytics::kcore_approx(comm, g, 15).info;
+      infos[2] = analytics::label_propagation(comm, g, 10).info;
+      infos[3] = analytics::pagerank(comm, g, 20).info;
+      infos[4] = analytics::largest_scc(comm, gd).info;
+      infos[5] = analytics::weakly_connected_components(comm, g).info;
+      for (int a = 0; a < 6; ++a) {
+        const double t = -comm.allreduce_min(-infos[a].seconds);
+        const count_t b = comm.allreduce_sum(infos[a].comm_bytes);
+        if (comm.rank() == 0) {
+          run.analytic_seconds[a] = t;
+          run.analytic_bytes[a] = b;
+        }
+      }
+    });
+    runs.push_back(run);
+  }
+
+  bench::Table table({{"strategy", 12},
+                      {"part(s)", 9},
+                      {"HC", 7},
+                      {"KC", 7},
+                      {"LP", 7},
+                      {"PR", 7},
+                      {"SCC", 7},
+                      {"WCC", 7},
+                      {"analytics", 11},
+                      {"total", 8},
+                      {"comm", 10}});
+  for (const StrategyRun& run : runs) {
+    table.cell(run.name);
+    table.cell(run.partition_seconds, "%.2f");
+    double analytics_total = 0.0;
+    count_t bytes = 0;
+    for (int a = 0; a < 6; ++a) {
+      table.cell(run.analytic_seconds[a], "%.2f");
+      analytics_total += run.analytic_seconds[a];
+      bytes += run.analytic_bytes[a];
+    }
+    table.cell(analytics_total, "%.2f");
+    table.cell(run.partition_seconds + analytics_total, "%.2f");
+    table.cell(bench::fmt_bytes(bytes));
+  }
+  std::printf(
+      "\n'total' includes partitioning time, as in the paper's end-to-end\n"
+      "comparison. On this one-core substrate computation dominates, so\n"
+      "analytic times differ by less than the comm column; on the paper's\n"
+      "cluster communication dominates and the comm-volume ordering above\n"
+      "(XtraPuLP < blocks < random) is what becomes the ~30%% end-to-end\n"
+      "win. Partitioning time here is also ~nranks x a real cluster's\n"
+      "(all ranks share the core).\n");
+  return 0;
+}

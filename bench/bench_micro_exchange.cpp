@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) for the communication kernels the
+// partitioner spends its time in: Alltoallv, ExchangeUpdates, halo
+// refresh, and the per-iteration Allreduce. These are the routines
+// §III calls "highly optimized communication routines"; the micro
+// numbers make regressions in the runtime substrate visible.
+#include <benchmark/benchmark.h>
+
+#include "core/exchange.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_graph.hpp"
+#include "graph/halo.hpp"
+#include "mpisim/comm.hpp"
+
+using namespace xtra;
+
+namespace {
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto payload = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      std::vector<count_t> counts(static_cast<std::size_t>(nranks),
+                                  static_cast<count_t>(payload));
+      std::vector<std::uint64_t> send(payload *
+                                      static_cast<std::size_t>(nranks));
+      benchmark::DoNotOptimize(comm.alltoallv(send, counts));
+    });
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * nranks * nranks *
+      static_cast<std::int64_t>(payload) * 8);
+}
+BENCHMARK(BM_Alltoallv)->Args({4, 1000})->Args({8, 1000})->Args({4, 100000});
+
+void BM_Allreduce(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto len = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      std::vector<count_t> v(len, 1);
+      comm.allreduce_sum(v);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Args({4, 256})->Args({8, 256})->Args({8, 65536});
+
+void BM_ExchangeUpdates(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const graph::EdgeList el = gen::erdos_renyi(20'000, 16, 3);
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      std::vector<part_t> parts(g.n_total(), 0);
+      std::vector<lid_t> queue(g.n_local());
+      for (lid_t v = 0; v < g.n_local(); ++v) {
+        parts[v] = static_cast<part_t>(v % 8);
+        queue[v] = v;
+      }
+      core::exchange_updates(comm, g, parts, queue);
+    });
+  }
+}
+BENCHMARK(BM_ExchangeUpdates)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_HaloExchange(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const graph::EdgeList el = gen::erdos_renyi(20'000, 16, 3);
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      const graph::HaloPlan halo(comm, g);
+      std::vector<double> vals(g.n_total(), 1.0);
+      for (int i = 0; i < 10; ++i) halo.exchange(comm, vals);
+    });
+  }
+}
+BENCHMARK(BM_HaloExchange)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

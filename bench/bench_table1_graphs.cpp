@@ -1,0 +1,48 @@
+// Table I: test-graph statistics (n, m, davg, dmax, approx diameter).
+//
+// Regenerates the paper's graph-property table for the scaled suite,
+// using the paper's estimator (iterated BFS) for the diameter column.
+#include "bench/bench_common.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/stats.hpp"
+
+using namespace xtra;
+
+int main() {
+  const double scale = gen::env_scale();
+  std::printf("Table I: graph statistics (scale=%.2f, see DESIGN.md)\n",
+              scale);
+  bench::Table table({{"graph", 16},
+                      {"class", 8},
+                      {"n", 10},
+                      {"m", 12},
+                      {"davg", 8},
+                      {"dmax", 8},
+                      {"~D", 6}});
+  for (const auto& entry : gen::suite()) {
+    const graph::EdgeList el = gen::make_suite_graph(entry.name, scale);
+    sim::run_world(2, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, comm.size()));
+      // Mesh-class diameters are huge; cap BFS rounds there.
+      const int rounds = entry.cls == gen::GraphClass::kMesh ? 4 : 10;
+      const graph::GraphStats s = graph::compute_stats(comm, g, rounds);
+      if (comm.rank() == 0) {
+        table.cell(entry.name);
+        table.cell(gen::to_string(entry.cls));
+        table.cell(static_cast<count_t>(s.n));
+        table.cell(s.m);
+        table.cell(s.avg_degree, "%.1f");
+        table.cell(s.max_degree);
+        table.cell(s.approx_diameter);
+      }
+    });
+  }
+  // Also list the synthetic scaling-graph classes of Table I's tail.
+  bench::section("scaling graph classes (used by Fig 1/2 benches)");
+  std::printf(
+      "RMAT / RandER / RandHD generators available at any (scale, davg);\n"
+      "see bench_fig1_strong_scaling and bench_fig2_weak_scaling.\n");
+  return 0;
+}

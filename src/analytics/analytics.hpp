@@ -1,0 +1,89 @@
+// Distributed graph analytics — the six workloads of Fig 8 (algorithms
+// follow Slota et al. [29], the paper's companion analytics study).
+// Every analytic is bulk-synchronous over mpisim: local compute +
+// halo exchange per superstep, so execution time and communication
+// volume respond to the partition quality exactly as in the paper.
+//
+// Each run reports wall seconds and the bytes this rank sent (callers
+// aggregate via Comm::global_bytes_sent-style reductions).
+#pragma once
+
+#include <vector>
+
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::analytics {
+
+/// Measurement common to all analytics.
+struct RunInfo {
+  double seconds = 0.0;
+  count_t comm_bytes = 0;  ///< bytes sent by this rank
+  count_t supersteps = 0;
+};
+
+/// PageRank (PR): `iters` damped power iterations over the undirected
+/// adjacency (the paper treats all edges as undirected).
+struct PageRankResult {
+  RunInfo info;
+  std::vector<double> rank;  ///< size n_total (ghost entries refreshed)
+  double sum = 0.0;          ///< global rank mass (~1.0)
+};
+PageRankResult pagerank(sim::Comm& comm, const graph::DistGraph& g,
+                        int iters = 20, double damping = 0.85);
+
+/// Weakly connected components (WCC) via min-label hooking.
+struct ComponentsResult {
+  RunInfo info;
+  std::vector<gid_t> component;  ///< size n_total, component root gid
+  count_t num_components = 0;
+  count_t largest_size = 0;
+};
+ComponentsResult weakly_connected_components(sim::Comm& comm,
+                                             const graph::DistGraph& g);
+
+/// Label-propagation community detection (LP): `sweeps` synchronous
+/// majority-label rounds.
+struct CommunityResult {
+  RunInfo info;
+  std::vector<gid_t> label;  ///< size n_total
+  count_t num_communities = 0;
+};
+CommunityResult label_propagation(sim::Comm& comm,
+                                  const graph::DistGraph& g,
+                                  int sweeps = 10);
+
+/// Approximate k-core decomposition (KC): iterated neighborhood
+/// h-index (Lü et al.), which converges to the exact coreness;
+/// `rounds` caps the iteration count.
+struct KCoreResult {
+  RunInfo info;
+  std::vector<count_t> core;  ///< size n_total
+  count_t max_core = 0;
+};
+KCoreResult kcore_approx(sim::Comm& comm, const graph::DistGraph& g,
+                         int rounds = 20);
+
+/// Harmonic centrality (HC) of `num_sources` sampled vertices:
+/// HC(v) = sum_u 1/d(u,v), one BFS per source.
+struct HarmonicResult {
+  RunInfo info;
+  std::vector<gid_t> sources;
+  std::vector<double> centrality;  ///< aligned with sources
+};
+HarmonicResult harmonic_centrality(sim::Comm& comm,
+                                   const graph::DistGraph& g,
+                                   int num_sources = 16,
+                                   std::uint64_t seed = 1);
+
+/// Largest strongly connected component extraction (SCC) on a
+/// *directed* graph: trim + forward/backward BFS from a max-degree
+/// pivot (the MultiStep scheme of [29], first stage).
+struct SccResult {
+  RunInfo info;
+  std::vector<std::uint8_t> in_scc;  ///< size n_total, 1 if in largest SCC
+  count_t scc_size = 0;
+};
+SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g);
+
+}  // namespace xtra::analytics

@@ -1,0 +1,80 @@
+#include <algorithm>
+
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "graph/halo.hpp"
+#include "util/flat_map.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace xtra::analytics {
+
+CommunityResult label_propagation(sim::Comm& comm,
+                                  const graph::DistGraph& g, int sweeps) {
+  CommunityResult result;
+  detail::Meter meter(comm, result.info);
+  const graph::HaloPlan halo(comm, g);
+
+  result.label.resize(g.n_total());
+  for (lid_t v = 0; v < g.n_total(); ++v) result.label[v] = g.gid_of(v);
+  std::vector<gid_t> prev(result.label);
+
+  // Scratch for majority counting: labels are arbitrary gids, so use a
+  // sorted copy of the neighborhood's labels per vertex.
+  std::vector<gid_t> nbr_labels;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool changed = false;
+    // Synchronous update: read prev, write label.
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) continue;
+      nbr_labels.clear();
+      for (const lid_t u : nbrs) nbr_labels.push_back(prev[u]);
+      std::sort(nbr_labels.begin(), nbr_labels.end());
+      // Majority label, ties toward the smaller label (deterministic).
+      gid_t best = prev[v];
+      std::size_t best_count = 0;
+      for (std::size_t i = 0; i < nbr_labels.size();) {
+        std::size_t j = i;
+        while (j < nbr_labels.size() && nbr_labels[j] == nbr_labels[i]) ++j;
+        if (j - i > best_count) {
+          best_count = j - i;
+          best = nbr_labels[i];
+        }
+        i = j;
+      }
+      if (best != result.label[v]) changed = true;
+      result.label[v] = best;
+    }
+    halo.exchange(comm, result.label);
+    prev = result.label;
+    ++result.info.supersteps;
+    if (!comm.allreduce_or(changed)) break;
+  }
+
+  // Distinct-label census: each rank sends its distinct owned labels
+  // to the label's owner; owners count distinct arrivals.
+  std::vector<gid_t> distinct;
+  distinct.reserve(g.n_local());
+  for (lid_t v = 0; v < g.n_local(); ++v) distinct.push_back(result.label[v]);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  const int nranks = comm.size();
+  std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+  for (const gid_t l : distinct)
+    ++counts[static_cast<std::size_t>(g.owner_of_gid(l))];
+  std::vector<count_t> offsets = exclusive_prefix_sum(counts);
+  std::vector<gid_t> send(distinct.size());
+  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const gid_t l : distinct)
+    send[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(g.owner_of_gid(l))]++)] = l;
+  std::vector<gid_t> recv = comm.alltoallv(send, counts);
+  std::sort(recv.begin(), recv.end());
+  recv.erase(std::unique(recv.begin(), recv.end()), recv.end());
+  result.num_communities =
+      comm.allreduce_sum(static_cast<count_t>(recv.size()));
+  return result;
+}
+
+}  // namespace xtra::analytics

@@ -1,0 +1,93 @@
+#include <algorithm>
+
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "graph/halo.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace xtra::analytics {
+
+ComponentsResult weakly_connected_components(sim::Comm& comm,
+                                             const graph::DistGraph& g) {
+  ComponentsResult result;
+  detail::Meter meter(comm, result.info);
+  const graph::HaloPlan halo(comm, g);
+
+  result.component.resize(g.n_total());
+  for (lid_t v = 0; v < g.n_total(); ++v) result.component[v] = g.gid_of(v);
+
+  bool changed = true;
+  while (comm.allreduce_or(changed)) {
+    changed = false;
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      gid_t best = result.component[v];
+      // Undirected view: a directed graph's weak components use both
+      // edge directions.
+      for (const lid_t u : g.neighbors(v))
+        best = std::min(best, result.component[u]);
+      if (g.directed())
+        for (const lid_t u : g.in_neighbors(v))
+          best = std::min(best, result.component[u]);
+      if (best < result.component[v]) {
+        result.component[v] = best;
+        changed = true;
+      }
+    }
+    halo.exchange(comm, result.component);
+    ++result.info.supersteps;
+  }
+
+  // Component census: ship (root, local_count) pairs to the root's
+  // owner, which totals them.
+  struct RootCount {
+    gid_t root;
+    count_t size;
+  };
+  std::vector<RootCount> local;
+  {
+    std::vector<gid_t> roots;
+    roots.reserve(g.n_local());
+    for (lid_t v = 0; v < g.n_local(); ++v)
+      roots.push_back(result.component[v]);
+    std::sort(roots.begin(), roots.end());
+    for (std::size_t i = 0; i < roots.size();) {
+      std::size_t j = i;
+      while (j < roots.size() && roots[j] == roots[i]) ++j;
+      local.push_back({roots[i], static_cast<count_t>(j - i)});
+      i = j;
+    }
+  }
+  const int nranks = comm.size();
+  std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+  for (const RootCount& rc : local)
+    ++counts[static_cast<std::size_t>(g.owner_of_gid(rc.root))];
+  std::vector<count_t> offsets = exclusive_prefix_sum(counts);
+  std::vector<RootCount> send(local.size());
+  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const RootCount& rc : local)
+    send[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(g.owner_of_gid(rc.root))]++)] = rc;
+  std::vector<RootCount> recv = comm.alltoallv(send, counts);
+  std::sort(recv.begin(), recv.end(),
+            [](const RootCount& a, const RootCount& b) {
+              return a.root < b.root;
+            });
+  count_t num = 0;
+  count_t largest = 0;
+  for (std::size_t i = 0; i < recv.size();) {
+    std::size_t j = i;
+    count_t total = 0;
+    while (j < recv.size() && recv[j].root == recv[i].root) {
+      total += recv[j].size;
+      ++j;
+    }
+    ++num;
+    largest = std::max(largest, total);
+    i = j;
+  }
+  result.num_components = comm.allreduce_sum(num);
+  result.largest_size = comm.allreduce_max(largest);
+  return result;
+}
+
+}  // namespace xtra::analytics

@@ -1,0 +1,34 @@
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "graph/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::analytics {
+
+HarmonicResult harmonic_centrality(sim::Comm& comm,
+                                   const graph::DistGraph& g,
+                                   int num_sources, std::uint64_t seed) {
+  HarmonicResult result;
+  detail::Meter meter(comm, result.info);
+
+  // Deterministic source sample every rank can compute without
+  // communication.
+  result.sources.reserve(static_cast<std::size_t>(num_sources));
+  for (int i = 0; i < num_sources; ++i)
+    result.sources.push_back(
+        splitmix64(seed + static_cast<std::uint64_t>(i)) % g.n_global());
+
+  std::vector<count_t> levels;
+  for (const gid_t source : result.sources) {
+    const count_t ecc = bfs_levels(comm, g, source, levels);
+    double local = 0.0;
+    for (lid_t v = 0; v < g.n_local(); ++v)
+      if (levels[v] > 0)
+        local += 1.0 / static_cast<double>(levels[v]);
+    result.centrality.push_back(comm.allreduce_sum(local));
+    result.info.supersteps += ecc;
+  }
+  return result;
+}
+
+}  // namespace xtra::analytics

@@ -1,0 +1,61 @@
+#include <algorithm>
+
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "graph/halo.hpp"
+
+namespace xtra::analytics {
+
+namespace {
+
+/// h-index of a value multiset: the largest h with >= h values >= h.
+count_t h_index(std::vector<count_t>& values) {
+  std::sort(values.begin(), values.end(), std::greater<count_t>());
+  count_t h = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= static_cast<count_t>(i + 1))
+      h = static_cast<count_t>(i + 1);
+    else
+      break;
+  }
+  return h;
+}
+
+}  // namespace
+
+KCoreResult kcore_approx(sim::Comm& comm, const graph::DistGraph& g,
+                         int rounds) {
+  KCoreResult result;
+  detail::Meter meter(comm, result.info);
+  const graph::HaloPlan halo(comm, g);
+
+  // Coreness upper bound: the degree. Repeated neighborhood h-index
+  // contraction converges to the exact coreness (Lü et al. 2016).
+  result.core.resize(g.n_total());
+  for (lid_t v = 0; v < g.n_total(); ++v) result.core[v] = g.degree(v);
+
+  std::vector<count_t> nbr_core;
+  for (int round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      nbr_core.clear();
+      for (const lid_t u : g.neighbors(v)) nbr_core.push_back(result.core[u]);
+      const count_t h = std::min<count_t>(h_index(nbr_core), g.degree(v));
+      if (h < result.core[v]) {
+        result.core[v] = h;
+        changed = true;
+      }
+    }
+    halo.exchange(comm, result.core);
+    ++result.info.supersteps;
+    if (!comm.allreduce_or(changed)) break;
+  }
+
+  count_t local_max = 0;
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    local_max = std::max(local_max, result.core[v]);
+  result.max_core = comm.allreduce_max(local_max);
+  return result;
+}
+
+}  // namespace xtra::analytics

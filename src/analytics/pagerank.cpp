@@ -1,0 +1,49 @@
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "graph/halo.hpp"
+
+namespace xtra::analytics {
+
+PageRankResult pagerank(sim::Comm& comm, const graph::DistGraph& g,
+                        int iters, double damping) {
+  PageRankResult result;
+  detail::Meter meter(comm, result.info);
+  const graph::HaloPlan halo(comm, g);
+
+  const double n = static_cast<double>(g.n_global());
+  std::vector<double> contrib(g.n_total(), 0.0);
+  result.rank.assign(g.n_total(), 1.0 / n);
+
+  for (int iter = 0; iter < iters; ++iter) {
+    // Contribution of every owned vertex, mirrored to ghosts.
+    double dangling = 0.0;
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      const count_t d = g.degree(v);
+      if (d == 0) {
+        dangling += result.rank[v];
+        contrib[v] = 0.0;
+      } else {
+        contrib[v] = result.rank[v] / static_cast<double>(d);
+      }
+    }
+    halo.exchange(comm, contrib);
+    dangling = comm.allreduce_sum(dangling);
+
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      double sum = 0.0;
+      for (const lid_t u : g.neighbors(v)) sum += contrib[u];
+      result.rank[v] =
+          (1.0 - damping) / n + damping * (sum + dangling / n);
+    }
+    ++result.info.supersteps;
+  }
+  // Refresh ghost ranks so callers see a consistent vector.
+  halo.exchange(comm, result.rank);
+
+  double local_sum = 0.0;
+  for (lid_t v = 0; v < g.n_local(); ++v) local_sum += result.rank[v];
+  result.sum = comm.allreduce_sum(local_sum);
+  return result;
+}
+
+}  // namespace xtra::analytics

@@ -1,0 +1,132 @@
+#include <limits>
+
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "graph/halo.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace xtra::analytics {
+
+namespace {
+
+/// BFS over the active subgraph, following out- or in-edges. Marks
+/// reached owned+ghost vertices in `reached`. Collective.
+void masked_bfs(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
+                const std::vector<std::uint8_t>& active, bool use_in_edges,
+                std::vector<std::uint8_t>& reached, count_t& supersteps) {
+  const int nranks = comm.size();
+  reached.assign(g.n_total(), 0);
+  std::vector<lid_t> frontier;
+  if (g.owner_of_gid(root) == comm.rank()) {
+    const lid_t l = g.lid_of(root);
+    XTRA_ASSERT(l != kInvalidLid);
+    if (active[l]) {
+      reached[l] = 1;
+      frontier.push_back(l);
+    }
+  }
+  while (comm.allreduce_or(!frontier.empty())) {
+    std::vector<lid_t> next;
+    std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+    std::vector<gid_t> notify;
+    for (const lid_t v : frontier) {
+      const auto nbrs = use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
+      for (const lid_t u : nbrs) {
+        if (reached[u] || !active[u]) continue;
+        reached[u] = 1;
+        if (g.is_owned(u)) {
+          next.push_back(u);
+        } else {
+          notify.push_back(g.gid_of(u));
+          ++counts[static_cast<std::size_t>(g.owner_of(u))];
+        }
+      }
+    }
+    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
+    std::vector<gid_t> send(notify.size());
+    std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const gid_t gid : notify)
+      send[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(g.owner_of_gid(gid))]++)] = gid;
+    const std::vector<gid_t> arrivals = comm.alltoallv(send, counts);
+    for (const gid_t gid : arrivals) {
+      const lid_t l = g.lid_of(gid);
+      XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
+      if (!reached[l] && active[l]) {
+        reached[l] = 1;
+        next.push_back(l);
+      }
+    }
+    frontier = std::move(next);
+    ++supersteps;
+  }
+}
+
+}  // namespace
+
+SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g) {
+  SccResult result;
+  detail::Meter meter(comm, result.info);
+  const graph::HaloPlan halo(comm, g);
+
+  // --- Trim: vertices with no active in- or out-neighbor are
+  // singleton SCCs; peel them iteratively (MultiStep stage 1).
+  std::vector<std::uint8_t> active(g.n_total(), 1);
+  bool changed = true;
+  while (comm.allreduce_or(changed)) {
+    changed = false;
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      if (!active[v]) continue;
+      count_t out_live = 0, in_live = 0;
+      for (const lid_t u : g.neighbors(v))
+        if (active[u] && u != v) ++out_live;
+      for (const lid_t u : g.in_neighbors(v))
+        if (active[u] && u != v) ++in_live;
+      if (out_live == 0 || in_live == 0) {
+        active[v] = 0;
+        changed = true;
+      }
+    }
+    halo.exchange(comm, active);
+    ++result.info.supersteps;
+  }
+
+  // --- Pivot: the highest-degree active vertex (globally agreed).
+  count_t best_deg = -1;
+  gid_t best_gid = std::numeric_limits<gid_t>::max();
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    if (active[v] && g.degree(v) > best_deg) {
+      best_deg = g.degree(v);
+      best_gid = g.gid_of(v);
+    }
+  const count_t global_deg = comm.allreduce_max(best_deg);
+  if (global_deg < 0) {
+    // Graph fully trimmed: every SCC is a singleton.
+    result.in_scc.assign(g.n_total(), 0);
+    result.scc_size = g.n_global() > 0 ? 1 : 0;
+    return result;
+  }
+  if (best_deg != global_deg) best_gid = std::numeric_limits<gid_t>::max();
+  const gid_t pivot = comm.allreduce_min(best_gid);
+
+  // --- Forward/backward reachability from the pivot; the SCC is the
+  // intersection (MultiStep stage 2).
+  std::vector<std::uint8_t> fw, bw;
+  masked_bfs(comm, g, pivot, active, /*use_in_edges=*/false, fw,
+             result.info.supersteps);
+  masked_bfs(comm, g, pivot, active, /*use_in_edges=*/true, bw,
+             result.info.supersteps);
+
+  result.in_scc.assign(g.n_total(), 0);
+  count_t local_size = 0;
+  for (lid_t v = 0; v < g.n_total(); ++v) {
+    if (fw[v] && bw[v]) {
+      result.in_scc[v] = 1;
+      if (g.is_owned(v)) ++local_size;
+    }
+  }
+  result.scc_size = comm.allreduce_sum(local_size);
+  return result;
+}
+
+}  // namespace xtra::analytics

@@ -1,0 +1,118 @@
+#include "baseline/coarsen.hpp"
+
+#include <numeric>
+
+#include "baseline/partitioners.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::baseline {
+
+std::vector<CoarseLevel> coarsen_by_matching(const SerialGraph& g,
+                                             gid_t target_n,
+                                             std::uint64_t seed) {
+  std::vector<CoarseLevel> levels;
+  const SerialGraph* cur = &g;
+  std::uint64_t level_seed = seed;
+  while (cur->n > target_n) {
+    const std::vector<gid_t> match = heavy_edge_matching(*cur, level_seed++);
+    std::vector<gid_t> cmap;
+    const gid_t n_coarse = matching_to_cmap(match, cmap);
+    if (n_coarse > cur->n * 95 / 100) break;  // shrinkage stalled
+    CoarseLevel level;
+    level.graph = contract(*cur, cmap, n_coarse);
+    level.cmap = std::move(cmap);
+    levels.push_back(std::move(level));
+    cur = &levels.back().graph;
+  }
+  return levels;
+}
+
+std::vector<gid_t> sclp_cluster(const SerialGraph& g, count_t cluster_cap,
+                                int sweeps, std::uint64_t seed,
+                                gid_t& n_clusters) {
+  std::vector<gid_t> cluster(g.n);
+  std::iota(cluster.begin(), cluster.end(), gid_t{0});
+  std::vector<count_t> cluster_weight(g.n);
+  for (gid_t v = 0; v < g.n; ++v) cluster_weight[v] = g.vwgt[v];
+
+  // Random visit order per sweep.
+  std::vector<gid_t> order(g.n);
+  std::iota(order.begin(), order.end(), gid_t{0});
+  Rng rng(seed, 0x5C19);
+
+  std::vector<count_t> counts(g.n, 0);
+  std::vector<gid_t> touched;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (gid_t i = g.n; i > 1; --i) std::swap(order[i - 1], order[rng.next_below(i)]);
+    count_t moves = 0;
+    for (const gid_t v : order) {
+      const gid_t cv = cluster[v];
+      touched.clear();
+      const auto nbrs = g.neighbors(v);
+      const auto wgts = g.edge_weights(v);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const gid_t cu = cluster[nbrs[j]];
+        if (counts[cu] == 0) touched.push_back(cu);
+        counts[cu] += wgts[j];
+      }
+      gid_t best = cv;
+      count_t best_score = counts[cv];
+      for (const gid_t c : touched) {
+        if (c == cv) continue;
+        // Size constraint: joining must not blow the cluster cap.
+        if (cluster_weight[c] + g.vwgt[v] > cluster_cap) continue;
+        if (counts[c] > best_score) {
+          best_score = counts[c];
+          best = c;
+        }
+      }
+      for (const gid_t c : touched) counts[c] = 0;
+      if (best != cv) {
+        cluster_weight[cv] -= g.vwgt[v];
+        cluster_weight[best] += g.vwgt[v];
+        cluster[v] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+
+  // Compact cluster ids.
+  std::vector<gid_t> remap(g.n, kInvalidLid);
+  gid_t next = 0;
+  for (gid_t v = 0; v < g.n; ++v) {
+    if (remap[cluster[v]] == kInvalidLid) remap[cluster[v]] = next++;
+    cluster[v] = remap[cluster[v]];
+  }
+  n_clusters = next;
+  return cluster;
+}
+
+std::vector<CoarseLevel> coarsen_by_sclp(const SerialGraph& g,
+                                         gid_t target_n, count_t cluster_cap,
+                                         std::uint64_t seed) {
+  std::vector<CoarseLevel> levels;
+  const SerialGraph* cur = &g;
+  std::uint64_t level_seed = seed;
+  while (cur->n > target_n) {
+    gid_t n_clusters = 0;
+    std::vector<gid_t> cmap =
+        sclp_cluster(*cur, cluster_cap, /*sweeps=*/3, level_seed++, n_clusters);
+    if (n_clusters > cur->n * 95 / 100) {
+      // LP stalled (e.g. already cluster-free structure): fall back to
+      // one matching level so coarsening still makes progress.
+      const std::vector<gid_t> match = heavy_edge_matching(*cur, level_seed++);
+      n_clusters = matching_to_cmap(match, cmap);
+      if (n_clusters > cur->n * 95 / 100) break;
+    }
+    CoarseLevel level;
+    level.graph = contract(*cur, cmap, n_clusters);
+    level.cmap = std::move(cmap);
+    levels.push_back(std::move(level));
+    cur = &levels.back().graph;
+  }
+  return levels;
+}
+
+}  // namespace xtra::baseline

@@ -1,0 +1,37 @@
+// Coarsening hierarchies shared by the multilevel and SCLP baselines.
+#pragma once
+
+#include <vector>
+
+#include "baseline/serial_graph.hpp"
+
+namespace xtra::baseline {
+
+/// One coarsening step: the coarse graph plus the fine->coarse map.
+struct CoarseLevel {
+  SerialGraph graph;
+  std::vector<gid_t> cmap;  ///< indexed by the *finer* level's vertices
+};
+
+/// Repeatedly coarsen by heavy-edge matching until at most `target_n`
+/// vertices remain or shrinkage stalls (<5% reduction). Returns the
+/// hierarchy coarsest-last; empty if g is already small enough.
+std::vector<CoarseLevel> coarsen_by_matching(const SerialGraph& g,
+                                             gid_t target_n,
+                                             std::uint64_t seed);
+
+/// Size-constrained label-propagation clustering (Meyerhenke et al.):
+/// every vertex greedily joins the neighboring cluster with the
+/// heaviest connection whose total weight stays <= cluster_cap.
+/// Returns a compact cluster map and writes the cluster count.
+std::vector<gid_t> sclp_cluster(const SerialGraph& g, count_t cluster_cap,
+                                int sweeps, std::uint64_t seed,
+                                gid_t& n_clusters);
+
+/// Coarsen by repeated SCLP clustering (KaHIP-style), with the same
+/// stopping rules as coarsen_by_matching.
+std::vector<CoarseLevel> coarsen_by_sclp(const SerialGraph& g,
+                                         gid_t target_n, count_t cluster_cap,
+                                         std::uint64_t seed);
+
+}  // namespace xtra::baseline

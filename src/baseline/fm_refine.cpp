@@ -1,0 +1,220 @@
+// Bisection growing and FM-style refinement kernels for the multilevel
+// baseline (Fiduccia–Mattheyses [15], simplified to greedy boundary
+// passes — the paper itself calls XtraPuLP's refinement "a variant of
+// FM-refinement").
+#include <algorithm>
+#include <queue>
+
+#include "baseline/partitioners.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::baseline {
+
+namespace {
+
+/// Weighted edge mass from v into `side`.
+count_t side_connectivity(const SerialGraph& g,
+                          const std::vector<part_t>& parts, gid_t v,
+                          part_t side) {
+  count_t w = 0;
+  const auto nbrs = g.neighbors(v);
+  const auto wgts = g.edge_weights(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    if (parts[nbrs[i]] == side) w += wgts[i];
+  return w;
+}
+
+/// One greedy FM pass over the bisection boundary. Moves any vertex
+/// with positive gain (cut decrease) whose move keeps both sides above
+/// floor and below cap. Returns moves made.
+count_t fm_bisection_pass(const SerialGraph& g, std::vector<part_t>& parts,
+                          count_t cap0, count_t cap1,
+                          std::array<count_t, 2>& side_weight) {
+  count_t moves = 0;
+  for (gid_t v = 0; v < g.n; ++v) {
+    const part_t x = parts[v];
+    const part_t y = 1 - x;
+    const count_t cap = (y == 0) ? cap0 : cap1;
+    if (side_weight[static_cast<std::size_t>(y)] + g.vwgt[v] > cap) continue;
+    if (side_weight[static_cast<std::size_t>(x)] - g.vwgt[v] < 1) continue;
+    const count_t gain = side_connectivity(g, parts, v, y) -
+                         side_connectivity(g, parts, v, x);
+    if (gain > 0) {
+      parts[v] = y;
+      side_weight[static_cast<std::size_t>(x)] -= g.vwgt[v];
+      side_weight[static_cast<std::size_t>(y)] += g.vwgt[v];
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+std::vector<part_t> grow_bisection(const SerialGraph& g, count_t target0,
+                                   double imbalance, std::uint64_t seed,
+                                   int fm_passes) {
+  XTRA_ASSERT(g.n >= 2);
+  std::vector<part_t> parts(g.n, 1);
+  Rng rng(seed, 0xB15EC7);
+
+  // BFS-grow side 0 from a random seed until it holds ~target0 weight,
+  // restarting from new seeds if a component is exhausted (George &
+  // Liu style graph growing, as cited in §III-B).
+  count_t grown = 0;
+  std::vector<gid_t> queue;
+  std::size_t head = 0;
+  std::vector<bool> seen(g.n, false);
+  while (grown < target0) {
+    if (head == queue.size()) {
+      // Find an unseen seed (random probe, then linear fallback).
+      gid_t s = rng.next_below(g.n);
+      for (gid_t probe = 0; probe < g.n && seen[s]; ++probe)
+        s = (s + 1) % g.n;
+      if (seen[s]) break;
+      seen[s] = true;
+      queue.push_back(s);
+    }
+    const gid_t v = queue[head++];
+    if (grown + g.vwgt[v] > target0 + (target0 * 5) / 100 && grown > 0)
+      continue;  // skip oversize growth but keep draining the queue
+    parts[v] = 0;
+    grown += g.vwgt[v];
+    for (const gid_t u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+
+  std::array<count_t, 2> side_weight{0, 0};
+  for (gid_t v = 0; v < g.n; ++v)
+    side_weight[static_cast<std::size_t>(parts[v])] += g.vwgt[v];
+  const count_t target1 = g.total_vwgt - target0;
+  const auto cap0 = static_cast<count_t>(
+      (1.0 + imbalance) * static_cast<double>(target0)) + 1;
+  const auto cap1 = static_cast<count_t>(
+      (1.0 + imbalance) * static_cast<double>(target1)) + 1;
+
+  // Rebalance first if growing overshot (possible on disconnected or
+  // hub-dominated graphs), preferring low-connectivity moves.
+  for (int pass = 0; pass < 4 && (side_weight[0] > cap0 || side_weight[1] > cap1);
+       ++pass) {
+    const part_t from = side_weight[0] > cap0 ? 0 : 1;
+    const part_t to = 1 - from;
+    for (gid_t v = 0; v < g.n && side_weight[static_cast<std::size_t>(from)] >
+                                     (from == 0 ? cap0 : cap1);
+         ++v) {
+      if (parts[v] != from) continue;
+      parts[v] = to;
+      side_weight[static_cast<std::size_t>(from)] -= g.vwgt[v];
+      side_weight[static_cast<std::size_t>(to)] += g.vwgt[v];
+    }
+  }
+
+  for (int pass = 0; pass < fm_passes; ++pass)
+    if (fm_bisection_pass(g, parts, cap0, cap1, side_weight) == 0) break;
+  return parts;
+}
+
+count_t kway_refine_pass(const SerialGraph& g, std::vector<part_t>& parts,
+                         part_t nparts, const std::vector<count_t>& max_part,
+                         std::vector<count_t>& weights) {
+  count_t moves = 0;
+  std::vector<count_t> counts(static_cast<std::size_t>(nparts), 0);
+  std::vector<part_t> touched;
+  for (gid_t v = 0; v < g.n; ++v) {
+    const part_t x = parts[v];
+    if (weights[static_cast<std::size_t>(x)] - g.vwgt[v] < 1) continue;
+    touched.clear();
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const part_t pu = parts[nbrs[i]];
+      if (counts[static_cast<std::size_t>(pu)] == 0) touched.push_back(pu);
+      counts[static_cast<std::size_t>(pu)] += wgts[i];
+    }
+    part_t best = x;
+    count_t best_score = counts[static_cast<std::size_t>(x)];
+    for (const part_t i : touched) {
+      if (i == x) continue;
+      if (weights[static_cast<std::size_t>(i)] + g.vwgt[v] >
+          max_part[static_cast<std::size_t>(i)])
+        continue;
+      if (counts[static_cast<std::size_t>(i)] > best_score) {
+        best_score = counts[static_cast<std::size_t>(i)];
+        best = i;
+      }
+    }
+    for (const part_t i : touched) counts[static_cast<std::size_t>(i)] = 0;
+    if (best != x) {
+      weights[static_cast<std::size_t>(x)] -= g.vwgt[v];
+      weights[static_cast<std::size_t>(best)] += g.vwgt[v];
+      parts[v] = best;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+void kway_force_balance(const SerialGraph& g, std::vector<part_t>& parts,
+                        part_t nparts, count_t cap,
+                        std::vector<count_t>& weights) {
+  const auto target = static_cast<count_t>(
+      g.total_vwgt / static_cast<count_t>(nparts));
+  std::vector<count_t> counts(static_cast<std::size_t>(nparts), 0);
+  std::vector<part_t> touched;
+  for (int pass = 0; pass < 16; ++pass) {
+    bool any_over = false;
+    count_t moves = 0;
+    for (gid_t v = 0; v < g.n; ++v) {
+      const part_t x = parts[v];
+      if (weights[static_cast<std::size_t>(x)] <= cap) continue;
+      any_over = true;
+      if (weights[static_cast<std::size_t>(x)] - g.vwgt[v] < 1) continue;
+      // Best-connected destination below target; teleport fallback.
+      touched.clear();
+      const auto nbrs = g.neighbors(v);
+      const auto wgts = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const part_t pu = parts[nbrs[i]];
+        if (counts[static_cast<std::size_t>(pu)] == 0) touched.push_back(pu);
+        counts[static_cast<std::size_t>(pu)] += wgts[i];
+      }
+      part_t best = x;
+      count_t best_score = -1;
+      for (const part_t i : touched) {
+        if (i == x) continue;
+        if (weights[static_cast<std::size_t>(i)] + g.vwgt[v] > target)
+          continue;
+        if (counts[static_cast<std::size_t>(i)] > best_score) {
+          best_score = counts[static_cast<std::size_t>(i)];
+          best = i;
+        }
+      }
+      for (const part_t i : touched) counts[static_cast<std::size_t>(i)] = 0;
+      if (best == x) {
+        // No admissible neighbor part: teleport to the lightest part.
+        part_t lightest = 0;
+        for (part_t i = 1; i < nparts; ++i)
+          if (weights[static_cast<std::size_t>(i)] <
+              weights[static_cast<std::size_t>(lightest)])
+            lightest = i;
+        if (lightest != x &&
+            weights[static_cast<std::size_t>(lightest)] + g.vwgt[v] <= cap)
+          best = lightest;
+      }
+      if (best != x) {
+        weights[static_cast<std::size_t>(x)] -= g.vwgt[v];
+        weights[static_cast<std::size_t>(best)] += g.vwgt[v];
+        parts[v] = best;
+        ++moves;
+      }
+    }
+    if (!any_over || moves == 0) break;
+  }
+}
+
+}  // namespace xtra::baseline

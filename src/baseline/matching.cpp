@@ -1,0 +1,66 @@
+// Heavy-edge matching for multilevel coarsening (the classic
+// METIS-style kernel).
+#include <numeric>
+
+#include "baseline/partitioners.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::baseline {
+
+std::vector<gid_t> heavy_edge_matching(const SerialGraph& g,
+                                       std::uint64_t seed) {
+  std::vector<gid_t> match(g.n);
+  std::iota(match.begin(), match.end(), gid_t{0});
+
+  // Random visit order de-biases the matching.
+  std::vector<gid_t> order(g.n);
+  std::iota(order.begin(), order.end(), gid_t{0});
+  Rng rng(seed, 0x4EA7);
+  for (gid_t i = g.n; i > 1; --i) {
+    const gid_t j = rng.next_below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+
+  for (const gid_t v : order) {
+    if (match[v] != v) continue;  // already matched
+    gid_t best = v;
+    count_t best_w = -1;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const gid_t u = nbrs[i];
+      if (u == v || match[u] != u) continue;
+      // Prefer the heaviest edge; break ties toward lighter vertices
+      // so coarse vertex weights stay even.
+      if (wgts[i] > best_w ||
+          (wgts[i] == best_w && best != v && g.vwgt[u] < g.vwgt[best])) {
+        best_w = wgts[i];
+        best = u;
+      }
+    }
+    if (best != v) {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+  return match;
+}
+
+gid_t matching_to_cmap(const std::vector<gid_t>& match,
+                       std::vector<gid_t>& cmap) {
+  const gid_t n = static_cast<gid_t>(match.size());
+  cmap.assign(n, kInvalidLid);
+  gid_t next = 0;
+  for (gid_t v = 0; v < n; ++v) {
+    if (cmap[v] != kInvalidLid) continue;
+    const gid_t u = match[v];
+    XTRA_ASSERT_MSG(match[u] == v || u == v, "matching is not symmetric");
+    cmap[v] = next;
+    cmap[u] = next;  // u == v for unmatched vertices
+    ++next;
+  }
+  return next;
+}
+
+}  // namespace xtra::baseline

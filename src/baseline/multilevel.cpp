@@ -1,0 +1,153 @@
+// Multilevel k-way partitioner — the ParMETIS stand-in (DESIGN.md §2):
+// heavy-edge-matching coarsening, BFS-growing recursive bisection at
+// the coarsest level, greedy boundary refinement while uncoarsening.
+#include <array>
+
+#include "baseline/coarsen.hpp"
+#include "baseline/partitioners.hpp"
+#include "util/assert.hpp"
+
+namespace xtra::baseline {
+
+namespace {
+
+/// Extract the subgraph induced by vertices with parts[v] == side.
+/// Fills old-id list `to_old` (new id -> old id).
+SerialGraph induced_subgraph(const SerialGraph& g,
+                             const std::vector<part_t>& parts, part_t side,
+                             std::vector<gid_t>& to_old) {
+  std::vector<gid_t> to_new(g.n, kInvalidLid);
+  to_old.clear();
+  for (gid_t v = 0; v < g.n; ++v) {
+    if (parts[v] == side) {
+      to_new[v] = static_cast<gid_t>(to_old.size());
+      to_old.push_back(v);
+    }
+  }
+  SerialGraph s;
+  s.n = static_cast<gid_t>(to_old.size());
+  s.offsets.assign(s.n + 1, 0);
+  s.vwgt.resize(s.n);
+  count_t arcs = 0;
+  for (gid_t nv = 0; nv < s.n; ++nv) {
+    const gid_t v = to_old[nv];
+    s.vwgt[nv] = g.vwgt[v];
+    s.total_vwgt += g.vwgt[v];
+    for (const gid_t u : g.neighbors(v))
+      if (to_new[u] != kInvalidLid) ++arcs;
+  }
+  s.adj.resize(static_cast<std::size_t>(arcs));
+  s.ewgt.resize(static_cast<std::size_t>(arcs));
+  count_t at = 0;
+  for (gid_t nv = 0; nv < s.n; ++nv) {
+    const gid_t v = to_old[nv];
+    s.offsets[nv] = at;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (to_new[nbrs[i]] == kInvalidLid) continue;
+      s.adj[static_cast<std::size_t>(at)] = to_new[nbrs[i]];
+      s.ewgt[static_cast<std::size_t>(at)] = wgts[i];
+      ++at;
+    }
+  }
+  s.offsets[s.n] = at;
+  s.m = at / 2;
+  return s;
+}
+
+/// Recursive bisection producing labels [0, k) on g.
+void recursive_bisect(const SerialGraph& g, part_t k, part_t label_offset,
+                      const BaselineOptions& opts, std::uint64_t seed,
+                      std::vector<part_t>& out,
+                      const std::vector<gid_t>& to_global) {
+  XTRA_ASSERT(k >= 1);
+  if (k == 1 || g.n == 0) {
+    for (gid_t v = 0; v < g.n; ++v) out[to_global[v]] = label_offset;
+    return;
+  }
+  if (g.n == 1) {
+    out[to_global[0]] = label_offset;
+    return;
+  }
+  const part_t k0 = k / 2;
+  const part_t k1 = k - k0;
+  const count_t target0 =
+      static_cast<count_t>(static_cast<double>(g.total_vwgt) *
+                           static_cast<double>(k0) / static_cast<double>(k));
+  const std::vector<part_t> bis =
+      grow_bisection(g, target0, opts.imbalance, seed, opts.refine_passes);
+  for (const part_t side : {part_t{0}, part_t{1}}) {
+    std::vector<gid_t> to_old;
+    const SerialGraph sub = induced_subgraph(g, bis, side, to_old);
+    std::vector<gid_t> sub_to_global(sub.n);
+    for (gid_t v = 0; v < sub.n; ++v)
+      sub_to_global[v] = to_global[to_old[v]];
+    recursive_bisect(sub, side == 0 ? k0 : k1,
+                     side == 0 ? label_offset : label_offset + k0, opts,
+                     seed * 2 + 1 + static_cast<std::uint64_t>(side), out,
+                     sub_to_global);
+  }
+}
+
+}  // namespace
+
+std::vector<part_t> multilevel_partition(const SerialGraph& g, part_t nparts,
+                                         const BaselineOptions& opts,
+                                         count_t memory_limit_edges) {
+  XTRA_ASSERT(nparts >= 1);
+  if (g.m > memory_limit_edges)
+    throw std::length_error(
+        "multilevel partitioner: graph exceeds the configured memory "
+        "envelope (models ParMETIS' out-of-memory failures, Table II)");
+  if (nparts == 1 || g.n == 0) return std::vector<part_t>(g.n, 0);
+
+  // 1. Coarsen.
+  const gid_t target_n =
+      std::max<gid_t>(128, static_cast<gid_t>(nparts) * 8);
+  const std::vector<CoarseLevel> levels =
+      coarsen_by_matching(g, target_n, opts.seed);
+  const SerialGraph& coarsest = levels.empty() ? g : levels.back().graph;
+
+  // 2. Initial partition via recursive bisection.
+  std::vector<part_t> parts(coarsest.n, 0);
+  std::vector<gid_t> identity(coarsest.n);
+  for (gid_t v = 0; v < coarsest.n; ++v) identity[v] = v;
+  recursive_bisect(coarsest, nparts, 0, opts, opts.seed ^ 0x1111, parts,
+                   identity);
+
+  // 3. Uncoarsen and refine.
+  const auto cap = static_cast<count_t>(
+      (1.0 + opts.imbalance) * static_cast<double>(g.total_vwgt) /
+      static_cast<double>(nparts)) + 1;
+  const std::vector<count_t> max_part(static_cast<std::size_t>(nparts), cap);
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    // Project coarse labels to the finer level.
+    const std::vector<gid_t>& cmap = levels[li].cmap;
+    std::vector<part_t> fine(cmap.size());
+    for (gid_t v = 0; v < static_cast<gid_t>(cmap.size()); ++v)
+      fine[v] = parts[cmap[v]];
+    parts = std::move(fine);
+    const SerialGraph& fine_g = (li == 0) ? g : levels[li - 1].graph;
+    std::vector<count_t> weights = part_weights(fine_g, parts, nparts);
+    kway_force_balance(fine_g, parts, nparts, cap, weights);
+    for (int pass = 0; pass < opts.refine_passes; ++pass)
+      if (kway_refine_pass(fine_g, parts, nparts, max_part, weights) == 0)
+        break;
+  }
+  if (levels.empty()) {
+    std::vector<count_t> weights = part_weights(g, parts, nparts);
+    kway_force_balance(g, parts, nparts, cap, weights);
+    for (int pass = 0; pass < opts.refine_passes; ++pass)
+      if (kway_refine_pass(g, parts, nparts, max_part, weights) == 0) break;
+  }
+  {
+    // Final guarantee on the full graph (bisection slack can compound
+    // across recursion levels).
+    std::vector<count_t> weights = part_weights(g, parts, nparts);
+    kway_force_balance(g, parts, nparts, cap, weights);
+  }
+  return parts;
+}
+
+}  // namespace xtra::baseline

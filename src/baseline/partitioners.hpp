@@ -1,0 +1,97 @@
+// Baseline partitioners used in the paper's comparisons.
+//
+//  * random / vertex-block / edge-block — the "simple balanced
+//    assignment strategies" of Fig 8 and the large-scale quality
+//    references of Fig 5;
+//  * PuLP      — the authors' prior shared-memory partitioner [27]
+//                (Table II, Fig 4, Fig 6);
+//  * Multilevel — heavy-edge-matching + recursive bisection + FM,
+//                the ParMETIS stand-in (Table II, Fig 4, Fig 6);
+//  * SCLP      — size-constrained label-propagation multilevel
+//                partitioner, the KaHIP/Meyerhenke-et-al. stand-in
+//                (Fig 6).
+// All run on a single address space and return a global part vector
+// indexed by gid.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/serial_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace xtra::baseline {
+
+/// Uniform random vertex assignment.
+std::vector<part_t> random_partition(gid_t n, part_t nparts,
+                                     std::uint64_t seed);
+
+/// Contiguous gid ranges with ~n/p vertices each ("VertexBlock").
+std::vector<part_t> vertex_block_partition(gid_t n, part_t nparts);
+
+/// Contiguous gid ranges holding ~2m/p edge endpoints each
+/// ("EdgeBlock"): balances edges, ignores cut.
+std::vector<part_t> edge_block_partition(const SerialGraph& g, part_t nparts);
+
+/// Options shared by the serial comparison partitioners.
+struct BaselineOptions {
+  double imbalance = 0.10;   ///< allowed vertex(-weight) imbalance
+  std::uint64_t seed = 1;
+  int refine_passes = 10;    ///< per-level / per-stage refinement sweeps
+};
+
+/// PuLP-MM [27]: label-propagation init + degree-weighted balance +
+/// refinement, asynchronous in-place updates (the shared-memory
+/// algorithm XtraPuLP descends from).
+std::vector<part_t> pulp_partition(const SerialGraph& g, part_t nparts,
+                                   const BaselineOptions& opts = {});
+
+/// Multilevel k-way partitioner (ParMETIS stand-in): heavy-edge
+/// matching to ~max(128, 8k) vertices, greedy BFS-growing recursive
+/// bisection, boundary FM refinement while uncoarsening.
+/// Throws std::length_error for graphs above `memory_limit_edges` —
+/// surfacing the out-of-memory failures ParMETIS shows in Table II.
+std::vector<part_t> multilevel_partition(
+    const SerialGraph& g, part_t nparts, const BaselineOptions& opts = {},
+    count_t memory_limit_edges = count_t(1) << 62);
+
+/// Size-constrained label propagation multilevel partitioner
+/// (KaHIP-style, Meyerhenke et al. [24]): SCLP clustering to coarsen,
+/// multilevel initial partition, constrained LP refinement per level.
+std::vector<part_t> sclp_partition(const SerialGraph& g, part_t nparts,
+                                   const BaselineOptions& opts = {});
+
+// --- multilevel building blocks (exposed for unit testing) ---
+
+/// Heavy-edge matching; returns match[v] = partner (or v if unmatched).
+std::vector<gid_t> heavy_edge_matching(const SerialGraph& g,
+                                       std::uint64_t seed);
+
+/// Turn a matching into a cluster map; returns the coarse vertex count.
+gid_t matching_to_cmap(const std::vector<gid_t>& match,
+                       std::vector<gid_t>& cmap);
+
+/// Greedy BFS-grown weighted bisection of g (parts 0/1), respecting
+/// `target0` total weight for side 0, followed by FM passes.
+std::vector<part_t> grow_bisection(const SerialGraph& g, count_t target0,
+                                   double imbalance, std::uint64_t seed,
+                                   int fm_passes);
+
+/// Boundary FM-style k-way refinement pass; mutates parts in place and
+/// returns the number of moves made.
+count_t kway_refine_pass(const SerialGraph& g, std::vector<part_t>& parts,
+                         part_t nparts, const std::vector<count_t>& max_part,
+                         std::vector<count_t>& weights);
+
+/// Guarantee the balance constraint: while any part exceeds `cap`,
+/// move vertices out of it — preferring the best-connected admissible
+/// destination, but falling back to the globally lightest part when the
+/// overweight region has no boundary with any underweight part (label
+/// propagation alone cannot fix that configuration).
+void kway_force_balance(const SerialGraph& g, std::vector<part_t>& parts,
+                        part_t nparts, count_t cap,
+                        std::vector<count_t>& weights);
+
+}  // namespace xtra::baseline

@@ -1,0 +1,122 @@
+#include "baseline/serial_graph.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/assert.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace xtra::baseline {
+
+namespace {
+
+/// Build CSR from weighted arcs (both orientations present), merging
+/// parallel arcs by weight summation.
+SerialGraph from_arcs(gid_t n,
+                      std::vector<std::tuple<gid_t, gid_t, count_t>>& arcs,
+                      std::vector<count_t> vwgt) {
+  std::sort(arcs.begin(), arcs.end());
+  // Merge parallel arcs.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < arcs.size();) {
+    std::size_t j = i + 1;
+    count_t w = std::get<2>(arcs[i]);
+    while (j < arcs.size() && std::get<0>(arcs[j]) == std::get<0>(arcs[i]) &&
+           std::get<1>(arcs[j]) == std::get<1>(arcs[i])) {
+      w += std::get<2>(arcs[j]);
+      ++j;
+    }
+    arcs[out++] = {std::get<0>(arcs[i]), std::get<1>(arcs[i]), w};
+    i = j;
+  }
+  arcs.resize(out);
+
+  SerialGraph g;
+  g.n = n;
+  g.m = static_cast<count_t>(arcs.size()) / 2;
+  g.offsets.assign(n + 1, 0);
+  for (const auto& [u, v, w] : arcs) ++g.offsets[u + 1];
+  for (gid_t v = 0; v < n; ++v) g.offsets[v + 1] += g.offsets[v];
+  g.adj.resize(arcs.size());
+  g.ewgt.resize(arcs.size());
+  std::vector<count_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const auto& [u, v, w] : arcs) {
+    g.adj[static_cast<std::size_t>(cursor[u])] = v;
+    g.ewgt[static_cast<std::size_t>(cursor[u])] = w;
+    ++cursor[u];
+  }
+  if (vwgt.empty()) vwgt.assign(n, 1);
+  g.vwgt = std::move(vwgt);
+  g.total_vwgt = 0;
+  for (const count_t w : g.vwgt) g.total_vwgt += w;
+  return g;
+}
+
+}  // namespace
+
+count_t SerialGraph::weighted_degree(gid_t v) const {
+  count_t sum = 0;
+  for (count_t i = offsets[v]; i < offsets[v + 1]; ++i)
+    sum += ewgt[static_cast<std::size_t>(i)];
+  return sum;
+}
+
+SerialGraph build_serial_graph(const graph::EdgeList& el) {
+  std::vector<std::tuple<gid_t, gid_t, count_t>> arcs;
+  arcs.reserve(el.edges.size() * 2);
+  for (const graph::Edge& e : el.edges) {
+    if (e.u == e.v) continue;
+    arcs.emplace_back(e.u, e.v, 1);
+    arcs.emplace_back(e.v, e.u, 1);
+  }
+  // Duplicate undirected edges would double both orientations, so
+  // dedup arcs first (weight merging must not double-count an edge
+  // listed twice in the input).
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  return from_arcs(el.n, arcs, {});
+}
+
+SerialGraph contract(const SerialGraph& g, const std::vector<gid_t>& cmap,
+                     gid_t n_coarse) {
+  XTRA_ASSERT(cmap.size() == g.n);
+  std::vector<count_t> vwgt(n_coarse, 0);
+  for (gid_t v = 0; v < g.n; ++v) {
+    XTRA_ASSERT(cmap[v] < n_coarse);
+    vwgt[cmap[v]] += g.vwgt[v];
+  }
+  std::vector<std::tuple<gid_t, gid_t, count_t>> arcs;
+  arcs.reserve(g.adj.size());
+  for (gid_t v = 0; v < g.n; ++v) {
+    const gid_t cv = cmap[v];
+    for (count_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i) {
+      const gid_t cu = cmap[g.adj[static_cast<std::size_t>(i)]];
+      if (cu == cv) continue;  // interior edge disappears
+      arcs.emplace_back(cv, cu, g.ewgt[static_cast<std::size_t>(i)]);
+    }
+  }
+  return from_arcs(n_coarse, arcs, std::move(vwgt));
+}
+
+count_t weighted_cut(const SerialGraph& g, const std::vector<part_t>& parts) {
+  XTRA_ASSERT(parts.size() == g.n);
+  count_t cut2 = 0;  // both orientations counted
+  for (gid_t v = 0; v < g.n; ++v)
+    for (count_t i = g.offsets[v]; i < g.offsets[v + 1]; ++i)
+      if (parts[g.adj[static_cast<std::size_t>(i)]] != parts[v])
+        cut2 += g.ewgt[static_cast<std::size_t>(i)];
+  return cut2 / 2;
+}
+
+std::vector<count_t> part_weights(const SerialGraph& g,
+                                  const std::vector<part_t>& parts,
+                                  part_t nparts) {
+  std::vector<count_t> w(static_cast<std::size_t>(nparts), 0);
+  for (gid_t v = 0; v < g.n; ++v) {
+    XTRA_ASSERT(parts[v] >= 0 && parts[v] < nparts);
+    w[static_cast<std::size_t>(parts[v])] += g.vwgt[v];
+  }
+  return w;
+}
+
+}  // namespace xtra::baseline

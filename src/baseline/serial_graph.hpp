@@ -1,0 +1,58 @@
+// Single-address-space weighted CSR graph, the substrate for the
+// comparison partitioners (PuLP, the multilevel ParMETIS stand-in, and
+// the SCLP KaHIP stand-in all operate on a gathered global graph —
+// mirroring ParMETIS' per-task memory behaviour that the paper calls
+// out as its scalability limit).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace xtra::baseline {
+
+/// Symmetric CSR with vertex and edge weights (weights become
+/// non-trivial on coarsened graphs).
+struct SerialGraph {
+  gid_t n = 0;
+  count_t m = 0;  ///< undirected edge count (adj stores 2m entries)
+  std::vector<count_t> offsets;  ///< size n+1
+  std::vector<gid_t> adj;
+  std::vector<count_t> ewgt;  ///< parallel to adj
+  std::vector<count_t> vwgt;  ///< size n
+  count_t total_vwgt = 0;
+
+  count_t degree(gid_t v) const { return offsets[v + 1] - offsets[v]; }
+  std::span<const gid_t> neighbors(gid_t v) const {
+    return {adj.data() + offsets[v],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+  std::span<const count_t> edge_weights(gid_t v) const {
+    return {ewgt.data() + offsets[v],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+  /// Sum of incident edge weights (counts both orientations once each).
+  count_t weighted_degree(gid_t v) const;
+};
+
+/// Build a unit-weight SerialGraph from an edge list (symmetrizes;
+/// drops self-loops; merges duplicate edges by summing weights).
+SerialGraph build_serial_graph(const graph::EdgeList& el);
+
+/// Contract by an arbitrary cluster map (values in [0, n_coarse)).
+/// Vertex weights sum per cluster; parallel edges merge with summed
+/// weights; intra-cluster edges vanish.
+SerialGraph contract(const SerialGraph& g, const std::vector<gid_t>& cmap,
+                     gid_t n_coarse);
+
+/// Edge cut of a partition under edge weights.
+count_t weighted_cut(const SerialGraph& g, const std::vector<part_t>& parts);
+
+/// Per-part vertex-weight sums.
+std::vector<count_t> part_weights(const SerialGraph& g,
+                                  const std::vector<part_t>& parts,
+                                  part_t nparts);
+
+}  // namespace xtra::baseline

@@ -1,0 +1,48 @@
+#include "baseline/partitioners.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::baseline {
+
+std::vector<part_t> random_partition(gid_t n, part_t nparts,
+                                     std::uint64_t seed) {
+  XTRA_ASSERT(nparts >= 1);
+  std::vector<part_t> parts(n);
+  for (gid_t v = 0; v < n; ++v)
+    parts[v] = static_cast<part_t>(
+        hash_to_bucket(v, seed, static_cast<std::uint64_t>(nparts)));
+  return parts;
+}
+
+std::vector<part_t> vertex_block_partition(gid_t n, part_t nparts) {
+  XTRA_ASSERT(nparts >= 1);
+  std::vector<part_t> parts(n);
+  for (gid_t v = 0; v < n; ++v) {
+    const auto p = static_cast<part_t>(
+        (static_cast<__uint128_t>(v) * static_cast<gid_t>(nparts)) / n);
+    parts[v] = std::min<part_t>(p, nparts - 1);
+  }
+  return parts;
+}
+
+std::vector<part_t> edge_block_partition(const SerialGraph& g,
+                                         part_t nparts) {
+  XTRA_ASSERT(nparts >= 1);
+  // Walk gids in order, cutting a new part whenever the running
+  // endpoint count passes the next multiple of 2m/p.
+  std::vector<part_t> parts(g.n, nparts - 1);
+  const double per_part =
+      2.0 * static_cast<double>(g.m) / static_cast<double>(nparts);
+  double running = 0.0;
+  part_t current = 0;
+  for (gid_t v = 0; v < g.n; ++v) {
+    if (current < nparts - 1 &&
+        running >= per_part * static_cast<double>(current + 1))
+      ++current;
+    parts[v] = current;
+    running += static_cast<double>(g.degree(v));
+  }
+  return parts;
+}
+
+}  // namespace xtra::baseline

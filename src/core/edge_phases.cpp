@@ -1,0 +1,200 @@
+#include <algorithm>
+
+#include "core/exchange.hpp"
+#include "core/phases.hpp"
+#include "util/assert.hpp"
+
+namespace xtra::core {
+
+namespace {
+
+double ratio_weight(double target, double est_size) {
+  const double denom = std::max(est_size, 1.0);
+  return std::max(target / denom - 1.0, 0.0);
+}
+
+/// Apply the cut-size deltas of moving v from x to w: for each incident
+/// edge (v,u), the edge's cut state may flip, which changes the
+/// per-part incident-cut counts of x, w, and parts(u).  (Sc(i) counts
+/// cut edges with an endpoint in part i; see DESIGN.md.)
+void apply_cut_deltas(const graph::DistGraph& g,
+                      const std::vector<part_t>& parts, lid_t v, part_t x,
+                      part_t w, std::vector<count_t>& change_c) {
+  for (const lid_t u : g.neighbors(v)) {
+    const part_t pu = parts[u];
+    if (pu != x) {  // was cut: remove from both sides
+      --change_c[static_cast<std::size_t>(x)];
+      --change_c[static_cast<std::size_t>(pu)];
+    }
+    if (pu != w) {  // is cut now: add to both sides
+      ++change_c[static_cast<std::size_t>(w)];
+      ++change_c[static_cast<std::size_t>(pu)];
+    }
+  }
+}
+
+}  // namespace
+
+void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
+                        std::vector<part_t>& parts, PhaseState& st,
+                        const Params& params) {
+  const part_t p = st.nparts;
+  std::vector<double> weight_e(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> weight_c(static_cast<std::size_t>(p), 0.0);
+  NeighborCounts counts(p);
+  std::vector<lid_t> queue;
+
+  // R_e/R_c schedule (§III-E): while the edge-balance constraint is
+  // unmet, R_e grows linearly and R_c stays fixed; once met, R_e
+  // freezes and R_c grows, shifting the objective to minimizing and
+  // balancing the per-part cut.
+  double r_e = 1.0;
+  double r_c = 1.0;
+  bool edge_balance_met = false;
+
+  for (int iter = 0; iter < params.bal_iters; ++iter) {
+    const count_t cur_max_e =
+        *std::max_element(st.size_e.begin(), st.size_e.end());
+    const count_t max_e = std::max(cur_max_e, st.imb_e);
+    const count_t max_v =
+        std::max(*std::max_element(st.size_v.begin(), st.size_v.end()),
+                 st.imb_v);
+    const count_t max_c =
+        std::max<count_t>(*std::max_element(st.size_c.begin(), st.size_c.end()),
+                          1);
+    if (!edge_balance_met && cur_max_e <= st.imb_e) edge_balance_met = true;
+    if (edge_balance_met) {
+      r_c += 1.0;
+    } else {
+      r_e += 1.0;
+    }
+
+    for (part_t i = 0; i < p; ++i) {
+      weight_e[static_cast<std::size_t>(i)] =
+          ratio_weight(static_cast<double>(st.imb_e), st.est_e(i));
+      weight_c[static_cast<std::size_t>(i)] =
+          ratio_weight(static_cast<double>(max_c), st.est_c(i));
+    }
+
+    queue.clear();
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      const part_t x = parts[v];
+      if (!st.can_leave(x))
+        continue;  // never empty a part (see vert_phases.cpp)
+      const count_t dv = g.degree(v);
+      counts.reset();
+      for (const lid_t u : g.neighbors(v))
+        counts.add(parts[u], static_cast<double>(g.degree(u)));
+
+      part_t best = x;
+      double best_score = 0.0;
+      for (const part_t i : counts.touched()) {
+        if (i == x) continue;
+        // The vertex cap is a pure constraint here -> strict gate
+        // (overshoot would ratchet the cap up permanently); edges are
+        // the objective being balanced -> the paper's optimistic
+        // mult-based estimate (overshoot self-corrects through W_e).
+        if (st.est_v_strict(i) + static_cast<double>(st.nprocs) >
+            static_cast<double>(max_v))
+          continue;
+        if (st.est_e(i) + static_cast<double>(dv) >
+            static_cast<double>(max_e))
+          continue;
+        const double score =
+            counts.get(i) * (r_e * weight_e[static_cast<std::size_t>(i)] +
+                             r_c * weight_c[static_cast<std::size_t>(i)]);
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      if (best != x && best_score > 0.0) {
+        --st.change_v[static_cast<std::size_t>(x)];
+        ++st.change_v[static_cast<std::size_t>(best)];
+        st.change_e[static_cast<std::size_t>(x)] -= dv;
+        st.change_e[static_cast<std::size_t>(best)] += dv;
+        apply_cut_deltas(g, parts, v, x, best, st.change_c);
+        parts[v] = best;
+        queue.push_back(v);
+        weight_e[static_cast<std::size_t>(x)] =
+            ratio_weight(static_cast<double>(st.imb_e), st.est_e(x));
+        weight_e[static_cast<std::size_t>(best)] =
+            ratio_weight(static_cast<double>(st.imb_e), st.est_e(best));
+        weight_c[static_cast<std::size_t>(x)] =
+            ratio_weight(static_cast<double>(max_c), st.est_c(x));
+        weight_c[static_cast<std::size_t>(best)] =
+            ratio_weight(static_cast<double>(max_c), st.est_c(best));
+      }
+    }
+    exchange_updates(comm, g, parts, queue);
+    fold_changes(comm, st);
+    refresh_cut_sizes(comm, g, parts, st);
+    ++st.iter_tot;
+  }
+}
+
+void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
+                       std::vector<part_t>& parts, PhaseState& st,
+                       const Params& params) {
+  const part_t p = st.nparts;
+  NeighborCounts counts(p);
+  std::vector<lid_t> queue;
+
+  for (int iter = 0; iter < params.ref_iters; ++iter) {
+    const count_t max_v =
+        std::max(*std::max_element(st.size_v.begin(), st.size_v.end()),
+                 st.imb_v);
+    const count_t max_e =
+        std::max(*std::max_element(st.size_e.begin(), st.size_e.end()),
+                 st.imb_e);
+    const count_t max_c =
+        *std::max_element(st.size_c.begin(), st.size_c.end());
+
+    queue.clear();
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      const part_t x = parts[v];
+      if (!st.can_leave(x))
+        continue;  // never empty a part (see vert_phases.cpp)
+      const count_t dv = g.degree(v);
+      counts.reset();
+      for (const lid_t u : g.neighbors(v)) counts.add(parts[u], 1.0);
+
+      part_t best = x;
+      double best_score = counts.get(x);
+      for (const part_t i : counts.touched()) {
+        if (i == x) continue;
+        if (counts.get(i) <= best_score) continue;
+        // No move may raise the global max in vertices, edges, or cut
+        // (§III-E refinement restriction). Vertices and edges are both
+        // constraints during refinement -> strict gates.
+        if (st.est_v_strict(i) + static_cast<double>(st.nprocs) >
+            static_cast<double>(max_v))
+          continue;
+        if (st.est_e_strict(i) +
+                static_cast<double>(st.nprocs) * static_cast<double>(dv) >
+            static_cast<double>(max_e))
+          continue;
+        // v's edges to parts other than i become i-incident cut.
+        const double cut_gain = static_cast<double>(dv) - counts.get(i);
+        if (st.est_c(i) + cut_gain > static_cast<double>(max_c)) continue;
+        best_score = counts.get(i);
+        best = i;
+      }
+      if (best != x) {
+        --st.change_v[static_cast<std::size_t>(x)];
+        ++st.change_v[static_cast<std::size_t>(best)];
+        st.change_e[static_cast<std::size_t>(x)] -= dv;
+        st.change_e[static_cast<std::size_t>(best)] += dv;
+        apply_cut_deltas(g, parts, v, x, best, st.change_c);
+        parts[v] = best;
+        queue.push_back(v);
+      }
+    }
+    exchange_updates(comm, g, parts, queue);
+    fold_changes(comm, st);
+    refresh_cut_sizes(comm, g, parts, st);
+    ++st.iter_tot;
+  }
+}
+
+}  // namespace xtra::core

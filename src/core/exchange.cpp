@@ -1,0 +1,66 @@
+#include "core/exchange.hpp"
+
+#include "util/assert.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace xtra::core {
+
+void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
+                      std::vector<part_t>& parts,
+                      const std::vector<lid_t>& queue) {
+  const int nranks = comm.size();
+  const int me = comm.rank();
+
+  // Pass 1 (Alg 3): count records per destination. The `stamp` array is
+  // the toSend mask, reused across vertices by stamping with the queue
+  // index instead of clearing.
+  std::vector<count_t> send_counts(static_cast<std::size_t>(nranks), 0);
+  std::vector<std::size_t> stamp(static_cast<std::size_t>(nranks),
+                                 ~std::size_t(0));
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const lid_t v = queue[qi];
+    XTRA_DEBUG_ASSERT(g.is_owned(v));
+    for (const lid_t u : g.neighbors(v)) {
+      const int task = g.owner_of(u);
+      if (task == me) continue;
+      if (stamp[static_cast<std::size_t>(task)] != qi) {
+        stamp[static_cast<std::size_t>(task)] = qi;
+        ++send_counts[static_cast<std::size_t>(task)];
+      }
+    }
+  }
+
+  // Pass 2: fill the send buffer at prefix-summed offsets.
+  std::vector<count_t> offsets = exclusive_prefix_sum(send_counts);
+  std::vector<PartUpdate> send_buffer(
+      static_cast<std::size_t>(offsets.back()));
+  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+  std::fill(stamp.begin(), stamp.end(), ~std::size_t(0));
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const lid_t v = queue[qi];
+    const gid_t gid = g.gid_of(v);
+    const part_t part = parts[v];
+    for (const lid_t u : g.neighbors(v)) {
+      const int task = g.owner_of(u);
+      if (task == me) continue;
+      if (stamp[static_cast<std::size_t>(task)] != qi) {
+        stamp[static_cast<std::size_t>(task)] = qi;
+        send_buffer[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(task)]++)] = {gid, part};
+      }
+    }
+  }
+
+  const std::vector<PartUpdate> recv = comm.alltoallv(send_buffer, send_counts);
+
+  // Apply to ghosts. A received gid must be a ghost here: the sender
+  // saw one of our owned vertices in its neighborhood, so we see theirs.
+  for (const PartUpdate& rec : recv) {
+    const lid_t l = g.lid_of(rec.gid);
+    XTRA_ASSERT_MSG(l != kInvalidLid && !g.is_owned(l),
+                    "part update for a vertex that is not a local ghost");
+    parts[l] = rec.part;
+  }
+}
+
+}  // namespace xtra::core

@@ -1,0 +1,33 @@
+// ExchangeUpdates — Algorithm 3, the partitioner's only point-to-point
+// communication pattern.
+//
+// Each rank queues owned vertices whose part label changed this
+// superstep. For every queued vertex we send (gid, new_part) to each
+// *distinct* rank appearing in its neighborhood (a boolean toSend mask
+// avoids redundant copies, per the paper), then apply the incoming
+// records to our ghost labels. Two passes over the queue (count, fill)
+// around prefix-summed offsets mirror Algorithm 3 exactly.
+#pragma once
+
+#include <vector>
+
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+#include "util/types.hpp"
+
+namespace xtra::core {
+
+/// One part-assignment update on the wire.
+struct PartUpdate {
+  gid_t gid;
+  part_t part;
+};
+
+/// Collective. `queue` holds owned local ids whose entry in `parts`
+/// changed; on return the ghost entries of `parts` reflect all peers'
+/// updates. Safe to call with empty queues (still collective).
+void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
+                      std::vector<part_t>& parts,
+                      const std::vector<lid_t>& queue);
+
+}  // namespace xtra::core

@@ -1,0 +1,35 @@
+// Part-label initialization strategies (paper §III-B, Algorithm 2).
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::core {
+
+/// Algorithm 2: rank 0 picks `nparts` unique random roots; labels grow
+/// outward BFS-like, each unassigned vertex adopting a *random* part
+/// among those present in its neighborhood; leftovers (disconnected
+/// from every root) get random labels. Collective; returns labels for
+/// owned + ghost vertices, globally consistent.
+std::vector<part_t> init_bfs_growing(sim::Comm& comm,
+                                     const graph::DistGraph& g,
+                                     const Params& params);
+
+/// Uniform random labels (a baseline init and a quality ablation).
+std::vector<part_t> init_random(sim::Comm& comm, const graph::DistGraph& g,
+                                const Params& params);
+
+/// Contiguous gid blocks -> parts. With a block vertex distribution
+/// this is the "VertexBlock" layout of Fig 8.
+std::vector<part_t> init_block(sim::Comm& comm, const graph::DistGraph& g,
+                               const Params& params);
+
+/// Dispatch on params.init.
+std::vector<part_t> initialize_parts(sim::Comm& comm,
+                                     const graph::DistGraph& g,
+                                     const Params& params);
+
+}  // namespace xtra::core

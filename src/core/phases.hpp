@@ -1,0 +1,39 @@
+// The four balance/refinement phases of Algorithm 1. All collective.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/state.hpp"
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::core {
+
+/// Algorithm 4: label propagation with the W_v balance weighting and
+/// degree-weighted neighbor counts; runs params.bal_iters iterations.
+void vert_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
+                        std::vector<part_t>& parts, PhaseState& st,
+                        const Params& params);
+
+/// Algorithm 5: constrained label propagation (FM-style refinement)
+/// that greedily reduces cut without growing any part past
+/// max(max_i Sv(i), Imbv); runs params.ref_iters iterations.
+void vert_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
+                       std::vector<part_t>& parts, PhaseState& st,
+                       const Params& params);
+
+/// §III-E edge balancing: weights (Re*We + Rc*Wc) drive edges per part
+/// toward Imbe, then push down / balance the per-part cut. Tracks
+/// (Sv,Se,Sc) and (Cv,Ce,Cc).
+void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
+                        std::vector<part_t>& parts, PhaseState& st,
+                        const Params& params);
+
+/// §III-E refinement: like vert_refine but no move may raise the
+/// current global max vertex count, edge count, or cut of any part.
+void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
+                       std::vector<part_t>& parts, PhaseState& st,
+                       const Params& params);
+
+}  // namespace xtra::core

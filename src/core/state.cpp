@@ -1,0 +1,68 @@
+#include "core/state.hpp"
+
+#include "util/assert.hpp"
+
+namespace xtra::core {
+
+std::vector<count_t> compute_vertex_sizes(sim::Comm& comm,
+                                          const graph::DistGraph& g,
+                                          const std::vector<part_t>& parts,
+                                          part_t nparts) {
+  std::vector<count_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (lid_t v = 0; v < g.n_local(); ++v) {
+    XTRA_DEBUG_ASSERT(parts[v] >= 0 && parts[v] < nparts);
+    ++sizes[static_cast<std::size_t>(parts[v])];
+  }
+  comm.allreduce_sum(sizes);
+  return sizes;
+}
+
+std::vector<count_t> compute_edge_sizes(sim::Comm& comm,
+                                        const graph::DistGraph& g,
+                                        const std::vector<part_t>& parts,
+                                        part_t nparts) {
+  std::vector<count_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    sizes[static_cast<std::size_t>(parts[v])] += g.degree(v);
+  comm.allreduce_sum(sizes);
+  return sizes;
+}
+
+std::vector<count_t> compute_cut_sizes(sim::Comm& comm,
+                                       const graph::DistGraph& g,
+                                       const std::vector<part_t>& parts,
+                                       part_t nparts) {
+  std::vector<count_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (lid_t v = 0; v < g.n_local(); ++v) {
+    const part_t pv = parts[v];
+    for (const lid_t u : g.neighbors(v))
+      if (parts[u] != pv) ++sizes[static_cast<std::size_t>(pv)];
+  }
+  comm.allreduce_sum(sizes);
+  return sizes;
+}
+
+void fold_changes(sim::Comm& comm, PhaseState& st) {
+  auto fold = [&comm](std::vector<count_t>& sizes,
+                      std::vector<count_t>& changes) {
+    if (changes.empty()) return;
+    comm.allreduce_sum(changes);
+    for (std::size_t i = 0; i < sizes.size(); ++i) sizes[i] += changes[i];
+    std::fill(changes.begin(), changes.end(), 0);
+  };
+  fold(st.size_v, st.change_v);
+  fold(st.size_e, st.change_e);
+  // Cut sizes are NOT folded: a vertex move's cut delta depends on its
+  // neighbors' labels, which other ranks may change in the same
+  // iteration, so summed deltas drift from the truth (unlike Cv/Ce,
+  // which depend only on the moved vertex). The edge phases recompute
+  // Sc exactly after each ghost exchange instead.
+}
+
+void refresh_cut_sizes(sim::Comm& comm, const graph::DistGraph& g,
+                       const std::vector<part_t>& parts, PhaseState& st) {
+  st.size_c = compute_cut_sizes(comm, g, parts, st.nparts);
+  std::fill(st.change_c.begin(), st.change_c.end(), 0);
+}
+
+}  // namespace xtra::core

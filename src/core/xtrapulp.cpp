@@ -1,0 +1,164 @@
+#include "core/xtrapulp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/exchange.hpp"
+#include "core/init.hpp"
+#include "core/phases.hpp"
+#include "core/state.hpp"
+#include "util/assert.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/timer.hpp"
+
+namespace xtra::core {
+
+namespace {
+
+void validate(const graph::DistGraph& g, const Params& params) {
+  if (params.nparts < 1)
+    throw std::invalid_argument("nparts must be >= 1");
+  if (static_cast<gid_t>(params.nparts) > g.n_global())
+    throw std::invalid_argument("more parts than vertices");
+  if (params.vert_imbalance < 0 || params.edge_imbalance < 0)
+    throw std::invalid_argument("imbalance ratios must be non-negative");
+  if (params.outer_iters < 1 || params.bal_iters < 0 || params.ref_iters < 0)
+    throw std::invalid_argument("iteration counts out of range");
+  if (params.mult_x < 0 || params.mult_y < 0)
+    throw std::invalid_argument("multiplier endpoints must be >= 0");
+}
+
+}  // namespace
+
+PartitionResult partition(sim::Comm& comm, const graph::DistGraph& g,
+                          const Params& params) {
+  validate(g, params);
+  PartitionResult result;
+  result.nparts = params.nparts;
+  const count_t bytes_before = comm.stats().bytes_sent;
+  Timer total;
+
+  // --- Stage 0: initialization (Algorithm 2) ---
+  Timer t_init;
+  result.parts = initialize_parts(comm, g, params);
+  result.init_seconds = t_init.seconds();
+
+  PhaseState st;
+  st.nparts = params.nparts;
+  st.nprocs = comm.size();
+  st.x = params.mult_x;
+  st.y = params.mult_y;
+  st.i_tot = std::max(params.outer_iters *
+                          (params.bal_iters + params.ref_iters),
+                      1);
+  st.imb_v = static_cast<count_t>(
+      std::ceil((1.0 + params.vert_imbalance) *
+                static_cast<double>(g.n_global()) /
+                static_cast<double>(params.nparts)));
+  // Edge target uses the degree-sum convention (sum over parts = 2m).
+  st.imb_e = static_cast<count_t>(
+      std::ceil((1.0 + params.edge_imbalance) * 2.0 *
+                static_cast<double>(g.m_global()) /
+                static_cast<double>(params.nparts)));
+
+  // --- Stage 1: vertex balance + refinement (Algorithms 4 & 5) ---
+  Timer t_vert;
+  st.size_v = compute_vertex_sizes(comm, g, result.parts, params.nparts);
+  st.change_v.assign(static_cast<std::size_t>(params.nparts), 0);
+  st.iter_tot = 0;
+  for (int outer = 0; outer < params.outer_iters; ++outer) {
+    vert_balance_phase(comm, g, result.parts, st, params);
+    vert_refine_phase(comm, g, result.parts, st, params);
+  }
+  result.vert_stage_seconds = t_vert.seconds();
+
+  // --- Stage 2: edge balance + refinement (§III-E) ---
+  if (params.edge_phases) {
+    Timer t_edge;
+    st.size_e = compute_edge_sizes(comm, g, result.parts, params.nparts);
+    st.size_c = compute_cut_sizes(comm, g, result.parts, params.nparts);
+    st.change_e.assign(static_cast<std::size_t>(params.nparts), 0);
+    st.change_c.assign(static_cast<std::size_t>(params.nparts), 0);
+    st.iter_tot = 0;  // Alg 1 resets Iter_tot before the second loop
+    for (int outer = 0; outer < params.outer_iters; ++outer) {
+      edge_balance_phase(comm, g, result.parts, st, params);
+      edge_refine_phase(comm, g, result.parts, st, params);
+    }
+    result.edge_stage_seconds = t_edge.seconds();
+  }
+
+  result.total_seconds = total.seconds();
+  result.comm_bytes = comm.stats().bytes_sent - bytes_before;
+  return result;
+}
+
+std::vector<part_t> gather_global_parts(sim::Comm& comm,
+                                        const graph::DistGraph& g,
+                                        const std::vector<part_t>& parts) {
+  struct Labeled {
+    gid_t gid;
+    part_t part;
+  };
+  std::vector<Labeled> local(g.n_local());
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    local[v] = {g.gid_of(v), parts[v]};
+  const std::vector<Labeled> all = comm.allgatherv(local);
+  XTRA_ASSERT(all.size() == g.n_global());
+  std::vector<part_t> global(g.n_global(), kNoPart);
+  for (const Labeled& rec : all) {
+    XTRA_ASSERT(global[rec.gid] == kNoPart);
+    global[rec.gid] = rec.part;
+  }
+  return global;
+}
+
+bool check_partition_consistent(sim::Comm& comm, const graph::DistGraph& g,
+                                const std::vector<part_t>& parts,
+                                part_t nparts) {
+  bool ok = parts.size() == g.n_total();
+  if (ok) {
+    for (lid_t v = 0; v < g.n_total(); ++v)
+      if (parts[v] < 0 || parts[v] >= nparts) ok = false;
+  }
+  // Ghost consistency: ask each owner for its current label and compare.
+  if (ok) {
+    const int nranks = comm.size();
+    std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+    for (lid_t v = g.n_local(); v < g.n_total(); ++v)
+      ++counts[static_cast<std::size_t>(g.owner_of(v))];
+    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
+    std::vector<gid_t> queries(g.n_ghost());
+    std::vector<lid_t> query_lid(g.n_ghost());
+    std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (lid_t v = g.n_local(); v < g.n_total(); ++v) {
+      const int owner = g.owner_of(v);
+      const count_t slot = cursor[static_cast<std::size_t>(owner)]++;
+      queries[static_cast<std::size_t>(slot)] = g.gid_of(v);
+      query_lid[static_cast<std::size_t>(slot)] = v;
+    }
+    std::vector<count_t> rcounts;
+    const std::vector<gid_t> incoming =
+        comm.alltoallv(queries, counts, &rcounts);
+    std::vector<part_t> replies(incoming.size(), kNoPart);
+    for (std::size_t i = 0; i < incoming.size(); ++i) {
+      const lid_t l = g.lid_of(incoming[i]);
+      if (l == kInvalidLid || !g.is_owned(l)) {
+        ok = false;
+      } else {
+        replies[i] = parts[l];
+      }
+    }
+    const std::vector<part_t> responses = comm.alltoallv(replies, rcounts);
+    for (std::size_t i = 0; i < responses.size(); ++i)
+      if (responses[i] != parts[query_lid[i]]) ok = false;
+  } else {
+    // Keep the collective call pattern aligned across ranks.
+    std::vector<count_t> counts(static_cast<std::size_t>(comm.size()), 0);
+    std::vector<count_t> rcounts;
+    (void)comm.alltoallv(std::vector<gid_t>{}, counts, &rcounts);
+    (void)comm.alltoallv(std::vector<part_t>{}, counts);
+  }
+  return comm.allreduce_and(ok);
+}
+
+}  // namespace xtra::core

@@ -1,0 +1,43 @@
+#include "gen/generators.hpp"
+#include "util/assert.hpp"
+
+namespace xtra::gen {
+
+EdgeList mesh2d(gid_t rows, gid_t cols) {
+  XTRA_ASSERT(rows >= 1 && cols >= 1);
+  EdgeList el;
+  el.n = rows * cols;
+  el.directed = false;
+  el.edges.reserve(static_cast<std::size_t>(2 * rows * cols));
+  auto id = [cols](gid_t r, gid_t c) { return r * cols + c; };
+  for (gid_t r = 0; r < rows; ++r) {
+    for (gid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) el.edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) el.edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return el;
+}
+
+EdgeList mesh3d(gid_t nx, gid_t ny, gid_t nz) {
+  XTRA_ASSERT(nx >= 1 && ny >= 1 && nz >= 1);
+  EdgeList el;
+  el.n = nx * ny * nz;
+  el.directed = false;
+  el.edges.reserve(static_cast<std::size_t>(3 * el.n));
+  auto id = [ny, nz](gid_t x, gid_t y, gid_t z) {
+    return (x * ny + y) * nz + z;
+  };
+  for (gid_t x = 0; x < nx; ++x) {
+    for (gid_t y = 0; y < ny; ++y) {
+      for (gid_t z = 0; z < nz; ++z) {
+        if (z + 1 < nz) el.edges.push_back({id(x, y, z), id(x, y, z + 1)});
+        if (y + 1 < ny) el.edges.push_back({id(x, y, z), id(x, y + 1, z)});
+        if (x + 1 < nx) el.edges.push_back({id(x, y, z), id(x + 1, y, z)});
+      }
+    }
+  }
+  return el;
+}
+
+}  // namespace xtra::gen

@@ -1,0 +1,57 @@
+#include "gen/generators.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::gen {
+
+EdgeList erdos_renyi(gid_t n, count_t avg_degree, std::uint64_t seed) {
+  XTRA_ASSERT(n >= 2);
+  const count_t m = static_cast<count_t>(n) * avg_degree / 2;
+  EdgeList el;
+  el.n = n;
+  el.directed = false;
+  el.edges.reserve(static_cast<std::size_t>(m));
+  Rng rng(seed, 0xE12D);
+  for (count_t e = 0; e < m; ++e) {
+    const gid_t u = rng.next_below(n);
+    const gid_t v = rng.next_below(n);
+    if (u == v) continue;
+    el.edges.push_back({u, v});
+  }
+  graph::canonicalize(el);
+  return el;
+}
+
+EdgeList rand_hd(gid_t n, count_t avg_degree, std::uint64_t seed) {
+  XTRA_ASSERT(n >= 4 && avg_degree >= 2);
+  EdgeList el;
+  el.n = n;
+  el.directed = false;
+  // Paper §IV: "for a vertex with identifier k ... add davg edges
+  // connecting it to vertices chosen uniform randomly from the interval
+  // (k - davg, k + davg)". Adding davg/2 per vertex yields an average
+  // degree of ~davg once both endpoints are counted; targets wrap
+  // modulo n so the ring keeps its Θ(n/davg) diameter.
+  const count_t per_vertex = std::max<count_t>(avg_degree / 2, 1);
+  el.edges.reserve(static_cast<std::size_t>(n * per_vertex));
+  Rng rng(seed, 0x4A9D);
+  const std::uint64_t window = 2 * static_cast<std::uint64_t>(avg_degree) - 1;
+  for (gid_t k = 0; k < n; ++k) {
+    for (count_t i = 0; i < per_vertex; ++i) {
+      // Uniform offset in [-(davg-1), davg-1] \ {0}.
+      std::int64_t off =
+          static_cast<std::int64_t>(rng.next_below(window)) -
+          (static_cast<std::int64_t>(avg_degree) - 1);
+      if (off == 0) off = 1;
+      const gid_t target =
+          static_cast<gid_t>((static_cast<std::int64_t>(k) + off +
+                              static_cast<std::int64_t>(n)) %
+                             static_cast<std::int64_t>(n));
+      el.edges.push_back({k, target});
+    }
+  }
+  graph::canonicalize(el);
+  return el;
+}
+
+}  // namespace xtra::gen

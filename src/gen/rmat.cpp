@@ -1,0 +1,51 @@
+#include "gen/generators.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::gen {
+
+EdgeList rmat(int scale, count_t avg_degree, std::uint64_t seed, double a,
+              double b, double c) {
+  XTRA_ASSERT(scale >= 1 && scale < 63);
+  XTRA_ASSERT(a + b + c <= 1.0 + 1e-9);
+  const gid_t n = gid_t(1) << scale;
+  const count_t m = static_cast<count_t>(n) * avg_degree / 2;
+
+  EdgeList el;
+  el.n = n;
+  el.directed = false;
+  el.edges.reserve(static_cast<std::size_t>(m));
+
+  Rng rng(seed, 0xD3A7);
+  for (count_t e = 0; e < m; ++e) {
+    gid_t u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      // Noise on the quadrant probabilities (+-10%) de-correlates the
+      // recursion levels, the standard R-MAT smoothing.
+      const double na = a * (0.9 + 0.2 * rng.next_double());
+      const double nb = b * (0.9 + 0.2 * rng.next_double());
+      const double nc = c * (0.9 + 0.2 * rng.next_double());
+      const double nd = (1.0 - a - b - c) * (0.9 + 0.2 * rng.next_double());
+      const double norm = na + nb + nc + nd;
+      const double r = rng.next_double() * norm;
+      u <<= 1;
+      v <<= 1;
+      if (r < na) {
+        // upper-left: no bits set
+      } else if (r < na + nb) {
+        v |= 1;
+      } else if (r < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    el.edges.push_back({u, v});
+  }
+  graph::canonicalize(el);
+  return el;
+}
+
+}  // namespace xtra::gen

@@ -1,0 +1,41 @@
+// The Table I test-graph suite, scaled for this substrate.
+//
+// Each paper graph is mapped to a generator with matching class and
+// average degree; vertex counts are scaled down by a constant factor
+// (the paper's inputs need a cluster). Scale can be raised with the
+// XTRA_SCALE env var or the `scale` argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace xtra::gen {
+
+enum class GraphClass { kSocial, kWeb, kRmat, kMesh };
+
+struct SuiteEntry {
+  std::string name;        ///< paper's graph name
+  GraphClass cls;
+  gid_t base_n;            ///< vertices at scale 1.0
+  count_t avg_degree;      ///< paper's davg
+};
+
+/// All suite graphs in Table I order (social, web, rmat, mesh).
+const std::vector<SuiteEntry>& suite();
+
+/// Entries restricted to one class.
+std::vector<SuiteEntry> suite(GraphClass cls);
+
+/// Generate the named suite graph at the given scale multiplier.
+/// Throws std::out_of_range for unknown names.
+graph::EdgeList make_suite_graph(const std::string& name, double scale = 1.0,
+                                 std::uint64_t seed = 42);
+
+/// Benchmark scale multiplier from the XTRA_SCALE env var (default 1).
+double env_scale();
+
+const char* to_string(GraphClass cls);
+
+}  // namespace xtra::gen

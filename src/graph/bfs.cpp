@@ -1,0 +1,90 @@
+#include "graph/bfs.hpp"
+
+#include <limits>
+
+#include "util/prefix_sum.hpp"
+
+namespace xtra::graph {
+
+count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
+                   std::vector<count_t>& levels, bool use_in_edges) {
+  const int nranks = comm.size();
+  levels.assign(g.n_total(), kUnreached);
+
+  std::vector<lid_t> frontier;
+  if (g.owner_of_gid(root) == comm.rank()) {
+    const lid_t l = g.lid_of(root);
+    XTRA_ASSERT(l != kInvalidLid);
+    levels[l] = 0;
+    frontier.push_back(l);
+  }
+
+  count_t level = 0;
+  count_t max_level = 0;
+  while (comm.allreduce_or(!frontier.empty())) {
+    std::vector<lid_t> next;
+    std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+    std::vector<gid_t> notify;  // ghost gids reached this level
+    for (const lid_t v : frontier) {
+      const auto nbrs = use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
+      for (const lid_t u : nbrs) {
+        if (levels[u] != kUnreached) continue;
+        levels[u] = level + 1;
+        if (g.is_owned(u)) {
+          next.push_back(u);
+        } else {
+          notify.push_back(g.gid_of(u));
+          ++counts[static_cast<std::size_t>(g.owner_of(u))];
+        }
+      }
+    }
+    // Group notifications by owner for the exchange.
+    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
+    std::vector<gid_t> send(notify.size());
+    {
+      std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (const gid_t gid : notify) {
+        const int owner = g.owner_of_gid(gid);
+        send[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(owner)]++)] = gid;
+      }
+    }
+    std::vector<gid_t> reached = comm.alltoallv(send, counts);
+    for (const gid_t gid : reached) {
+      const lid_t l = g.lid_of(gid);
+      XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
+      if (levels[l] == kUnreached) {
+        levels[l] = level + 1;
+        next.push_back(l);
+      }
+    }
+    if (!next.empty()) max_level = level + 1;
+    frontier = std::move(next);
+    ++level;
+  }
+  return comm.allreduce_max(max_level);
+}
+
+count_t estimate_diameter(sim::Comm& comm, const DistGraph& g, int rounds,
+                          gid_t first_root) {
+  if (g.n_global() == 0) return 0;
+  gid_t root = first_root % g.n_global();
+  count_t best = 0;
+  std::vector<count_t> levels;
+  for (int r = 0; r < rounds; ++r) {
+    const count_t ecc = bfs_levels(comm, g, root, levels);
+    best = std::max(best, ecc);
+    // Pick the smallest gid on the farthest level as the next root
+    // (deterministic stand-in for the paper's random farthest vertex).
+    gid_t candidate = std::numeric_limits<gid_t>::max();
+    for (lid_t v = 0; v < g.n_local(); ++v)
+      if (levels[v] == ecc) candidate = std::min(candidate, g.gid_of(v));
+    candidate = comm.allreduce_min(candidate);
+    if (candidate == std::numeric_limits<gid_t>::max() || candidate == root)
+      break;  // isolated root or converged eccentricity
+    root = candidate;
+  }
+  return best;
+}
+
+}  // namespace xtra::graph

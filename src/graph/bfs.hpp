@@ -1,0 +1,36 @@
+// Distributed level-synchronous breadth-first search.
+//
+// A graph primitive shared by the diameter estimator (Table I), the
+// XtraPuLP initialization phase's conceptual ancestor, and the
+// analytics suite (harmonic centrality, SCC, WCC seeding). Each BFS
+// level is one superstep: local frontier expansion, then an Alltoallv
+// notifying owners of newly-reached ghost vertices.
+#pragma once
+
+#include <vector>
+
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::graph {
+
+inline constexpr count_t kUnreached = -1;
+
+/// Runs BFS from the (single) global root. On return, levels[l] is the
+/// hop distance of local vertex l (owned and ghost entries are both
+/// filled), or kUnreached. Returns the eccentricity of the root over
+/// the reachable set (max level, globally reduced). Collective.
+///
+/// When `use_in_edges` is true the search follows in-edges instead
+/// (reverse BFS on directed graphs).
+count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
+                   std::vector<count_t>& levels, bool use_in_edges = false);
+
+/// Approximate diameter via `rounds` iterated BFS sweeps: each sweep
+/// starts from a vertex on the farthest level of the previous sweep
+/// (the paper's Table I estimator). Collective; returns the max
+/// eccentricity observed.
+count_t estimate_diameter(sim::Comm& comm, const DistGraph& g,
+                          int rounds = 10, gid_t first_root = 0);
+
+}  // namespace xtra::graph

@@ -1,0 +1,3 @@
+#include "graph/dist.hpp"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,97 @@
+// Vertex ownership maps (the 1D distributions of paper §III-A).
+//
+// "When distributing the graph for the partitioner, we utilize either
+//  random and block distributions of the vertices."  Both are
+// arithmetic, so any rank can compute any vertex's owner without
+// communication. A third, explicit, map supports redistributing a
+// graph by a computed partition (used by the analytics and SpMV
+// experiments, Fig 8 / Table III).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace xtra::graph {
+
+class VertexDist {
+ public:
+  enum class Kind { kBlock, kRandom, kExplicit };
+
+  /// Contiguous ranges of ~n/nranks vertices per rank.
+  static VertexDist block(gid_t n, int nranks) {
+    return VertexDist(Kind::kBlock, n, nranks, 0, nullptr);
+  }
+
+  /// Pseudo-random ownership via a stateless hash; `salt` picks the
+  /// permutation deterministically.
+  static VertexDist random(gid_t n, int nranks, std::uint64_t salt = 17) {
+    return VertexDist(Kind::kRandom, n, nranks, salt, nullptr);
+  }
+
+  /// Ownership given explicitly per vertex (e.g. a partition vector
+  /// replicated on all ranks). owners->size() must equal n and every
+  /// entry must lie in [0, nranks).
+  static VertexDist explicit_map(
+      gid_t n, int nranks, std::shared_ptr<const std::vector<int>> owners) {
+    XTRA_ASSERT(owners && owners->size() == n);
+    return VertexDist(Kind::kExplicit, n, nranks, 0, std::move(owners));
+  }
+
+  Kind kind() const { return kind_; }
+  gid_t n_global() const { return n_; }
+  int nranks() const { return nranks_; }
+
+  /// Owning rank of global vertex v.
+  int owner(gid_t v) const {
+    XTRA_DEBUG_ASSERT(v < n_);
+    switch (kind_) {
+      case Kind::kBlock: {
+        // First `rem` ranks own base+1 vertices, the rest own base.
+        const gid_t base = n_ / static_cast<gid_t>(nranks_);
+        const gid_t rem = n_ % static_cast<gid_t>(nranks_);
+        const gid_t big = (base + 1) * rem;
+        if (v < big) return static_cast<int>(v / (base + 1));
+        return static_cast<int>(rem + (v - big) / (base == 0 ? 1 : base));
+      }
+      case Kind::kRandom:
+        return static_cast<int>(
+            hash_to_bucket(v, salt_, static_cast<std::uint64_t>(nranks_)));
+      case Kind::kExplicit:
+        return (*owners_)[static_cast<std::size_t>(v)];
+    }
+    return 0;
+  }
+
+  /// For block distributions only: the [first, last) gid range of rank.
+  std::pair<gid_t, gid_t> block_range(int rank) const {
+    XTRA_ASSERT(kind_ == Kind::kBlock);
+    const gid_t base = n_ / static_cast<gid_t>(nranks_);
+    const gid_t rem = n_ % static_cast<gid_t>(nranks_);
+    const auto r = static_cast<gid_t>(rank);
+    const gid_t first = r * base + std::min(r, rem);
+    const gid_t last = first + base + (r < rem ? 1 : 0);
+    return {first, last};
+  }
+
+ private:
+  VertexDist(Kind kind, gid_t n, int nranks, std::uint64_t salt,
+             std::shared_ptr<const std::vector<int>> owners)
+      : kind_(kind), n_(n), nranks_(nranks), salt_(salt),
+        owners_(std::move(owners)) {
+    XTRA_ASSERT(nranks >= 1);
+  }
+
+  Kind kind_;
+  gid_t n_;
+  int nranks_;
+  std::uint64_t salt_;
+  std::shared_ptr<const std::vector<int>> owners_;
+};
+
+}  // namespace xtra::graph

@@ -1,0 +1,35 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace xtra::graph {
+
+void canonicalize(EdgeList& el) {
+  auto& e = el.edges;
+  if (!el.directed) {
+    for (Edge& x : e)
+      if (x.u > x.v) std::swap(x.u, x.v);
+  }
+  std::erase_if(e, [](const Edge& x) { return x.u == x.v; });
+  std::sort(e.begin(), e.end());
+  e.erase(std::unique(e.begin(), e.end()), e.end());
+}
+
+EdgeList symmetrized(const EdgeList& el) {
+  EdgeList out;
+  out.n = el.n;
+  out.directed = false;
+  out.edges.reserve(el.edges.size());
+  for (const Edge& x : el.edges) {
+    if (x.u == x.v) continue;
+    out.edges.push_back({std::min(x.u, x.v), std::max(x.u, x.v)});
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+  return out;
+}
+
+}  // namespace xtra::graph

@@ -1,0 +1,36 @@
+// Global edge-list representation produced by generators and file I/O.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace xtra::graph {
+
+/// One edge (or directed arc when EdgeList::directed).
+struct Edge {
+  gid_t u;
+  gid_t v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A whole graph as a flat edge list. Undirected edges are stored once
+/// (either orientation); the distributed build symmetrizes them.
+struct EdgeList {
+  gid_t n = 0;             ///< number of vertices (ids in [0, n))
+  bool directed = false;   ///< arcs vs. undirected edges
+  std::vector<Edge> edges;
+
+  count_t edge_count() const { return static_cast<count_t>(edges.size()); }
+};
+
+/// Remove self loops and duplicate edges (treating {u,v} == {v,u} for
+/// undirected lists). Sorts the edge vector as a side effect.
+void canonicalize(EdgeList& el);
+
+/// Return the undirected version of a directed edge list (dedups).
+EdgeList symmetrized(const EdgeList& el);
+
+}  // namespace xtra::graph

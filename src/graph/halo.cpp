@@ -1,0 +1,36 @@
+#include "graph/halo.hpp"
+
+#include "util/assert.hpp"
+
+namespace xtra::graph {
+
+HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g) {
+  const int nranks = comm.size();
+  // Ghosts register with their owners: send each ghost gid to its
+  // owner; arrival order on the owner defines the send order, and the
+  // order we sent defines our receive order. alltoallv preserves both.
+  std::vector<count_t> ghost_counts(static_cast<std::size_t>(nranks), 0);
+  for (lid_t v = g.n_local(); v < g.n_total(); ++v)
+    ++ghost_counts[static_cast<std::size_t>(g.owner_of(v))];
+  std::vector<count_t> offsets = exclusive_prefix_sum(ghost_counts);
+  std::vector<gid_t> ghost_gids(g.n_ghost());
+  recv_lids_.resize(g.n_ghost());
+  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (lid_t v = g.n_local(); v < g.n_total(); ++v) {
+    const int owner = g.owner_of(v);
+    const count_t slot = cursor[static_cast<std::size_t>(owner)]++;
+    ghost_gids[static_cast<std::size_t>(slot)] = g.gid_of(v);
+    recv_lids_[static_cast<std::size_t>(slot)] = v;
+  }
+  const std::vector<gid_t> registrations =
+      comm.alltoallv(ghost_gids, ghost_counts, &send_counts_);
+  send_lids_.resize(registrations.size());
+  for (std::size_t i = 0; i < registrations.size(); ++i) {
+    const lid_t l = g.lid_of(registrations[i]);
+    XTRA_ASSERT_MSG(l != kInvalidLid && g.is_owned(l),
+                    "halo registration for a vertex not owned here");
+    send_lids_[i] = l;
+  }
+}
+
+}  // namespace xtra::graph

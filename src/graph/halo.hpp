@@ -1,0 +1,44 @@
+// Reusable ghost-value exchange plan.
+//
+// The partitioner's ExchangeUpdates sends sparse per-vertex updates;
+// the analytics and SpMV kernels instead refresh *every* ghost value
+// each superstep (PageRank, WCC, k-core...). Building the
+// sender/receiver lists once and replaying them each iteration is the
+// standard halo pattern; the plan is the moral equivalent of an
+// Epetra Import object.
+#pragma once
+
+#include <vector>
+
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace xtra::graph {
+
+class HaloPlan {
+ public:
+  /// Collective: ghosts register with their owners once.
+  HaloPlan(sim::Comm& comm, const DistGraph& g);
+
+  /// Collective: copy vals[owned] into every ghost copy; vals must
+  /// have size g.n_total() and element type T trivially copyable.
+  template <typename T>
+  void exchange(sim::Comm& comm, std::vector<T>& vals) const {
+    std::vector<T> send(send_lids_.size());
+    for (std::size_t i = 0; i < send_lids_.size(); ++i)
+      send[i] = vals[send_lids_[i]];
+    const std::vector<T> recv = comm.alltoallv(send, send_counts_);
+    for (std::size_t i = 0; i < recv_lids_.size(); ++i)
+      vals[recv_lids_[i]] = recv[i];
+  }
+
+  count_t ghost_count() const { return static_cast<count_t>(recv_lids_.size()); }
+
+ private:
+  std::vector<count_t> send_counts_;  ///< per destination rank
+  std::vector<lid_t> send_lids_;      ///< owned lids, grouped by dest
+  std::vector<lid_t> recv_lids_;      ///< ghost lids in arrival order
+};
+
+}  // namespace xtra::graph

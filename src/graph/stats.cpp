@@ -1,0 +1,25 @@
+#include "graph/stats.hpp"
+
+#include "graph/bfs.hpp"
+
+namespace xtra::graph {
+
+GraphStats compute_stats(sim::Comm& comm, const DistGraph& g,
+                         int diameter_rounds) {
+  GraphStats s;
+  s.n = g.n_global();
+  s.m = g.m_global();
+  count_t local_max = 0;
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    local_max = std::max(local_max, g.degree(v));
+  s.max_degree = comm.allreduce_max(local_max);
+  s.avg_degree =
+      s.n == 0 ? 0.0
+               : static_cast<double>(g.directed() ? s.m : 2 * s.m) /
+                     static_cast<double>(s.n);
+  if (diameter_rounds > 0)
+    s.approx_diameter = estimate_diameter(comm, g, diameter_rounds);
+  return s;
+}
+
+}  // namespace xtra::graph

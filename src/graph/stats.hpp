@@ -1,0 +1,22 @@
+// Global graph statistics for Table I (n, m, davg, dmax, diameter).
+#pragma once
+
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::graph {
+
+struct GraphStats {
+  gid_t n = 0;
+  count_t m = 0;
+  double avg_degree = 0.0;
+  count_t max_degree = 0;
+  count_t approx_diameter = 0;
+};
+
+/// Collective computation of the Table I statistics. Diameter uses
+/// `diameter_rounds` iterated BFS sweeps (0 skips the estimate).
+GraphStats compute_stats(sim::Comm& comm, const DistGraph& g,
+                         int diameter_rounds = 10);
+
+}  // namespace xtra::graph

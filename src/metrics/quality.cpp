@@ -1,0 +1,99 @@
+#include "metrics/quality.hpp"
+
+#include <cmath>
+
+#include "core/state.hpp"
+#include "util/assert.hpp"
+
+namespace xtra::metrics {
+
+namespace {
+
+QualityReport finalize(part_t nparts, gid_t n, count_t m,
+                       const std::vector<count_t>& vert_sizes,
+                       const std::vector<count_t>& edge_sizes,
+                       const std::vector<count_t>& cut_sizes, count_t cut) {
+  QualityReport r;
+  r.nparts = nparts;
+  r.edges = m;
+  r.cut = cut;
+  for (const count_t c : cut_sizes) r.max_part_cut = std::max(r.max_part_cut, c);
+  const double p = static_cast<double>(nparts);
+  if (m > 0) {
+    r.edge_cut_ratio = static_cast<double>(cut) / static_cast<double>(m);
+    r.scaled_max_cut =
+        static_cast<double>(r.max_part_cut) / (static_cast<double>(m) / p);
+  }
+  count_t max_v = 0, max_e = 0;
+  for (const count_t s : vert_sizes) max_v = std::max(max_v, s);
+  for (const count_t s : edge_sizes) max_e = std::max(max_e, s);
+  if (n > 0)
+    r.vertex_imbalance =
+        static_cast<double>(max_v) / (static_cast<double>(n) / p);
+  if (m > 0)
+    r.edge_imbalance =
+        static_cast<double>(max_e) / (2.0 * static_cast<double>(m) / p);
+  return r;
+}
+
+}  // namespace
+
+QualityReport evaluate(const graph::EdgeList& el,
+                       const std::vector<part_t>& parts, part_t nparts) {
+  XTRA_ASSERT(parts.size() == el.n);
+  XTRA_ASSERT_MSG(!el.directed, "evaluate() expects an undirected list");
+  std::vector<count_t> vert_sizes(static_cast<std::size_t>(nparts), 0);
+  std::vector<count_t> edge_sizes(static_cast<std::size_t>(nparts), 0);
+  std::vector<count_t> cut_sizes(static_cast<std::size_t>(nparts), 0);
+  count_t cut = 0;
+  count_t m = 0;
+  for (gid_t v = 0; v < el.n; ++v) {
+    XTRA_ASSERT(parts[v] >= 0 && parts[v] < nparts);
+    ++vert_sizes[static_cast<std::size_t>(parts[v])];
+  }
+  for (const graph::Edge& e : el.edges) {
+    if (e.u == e.v) continue;
+    ++m;
+    const part_t pu = parts[e.u];
+    const part_t pv = parts[e.v];
+    ++edge_sizes[static_cast<std::size_t>(pu)];
+    ++edge_sizes[static_cast<std::size_t>(pv)];
+    if (pu != pv) {
+      ++cut;
+      ++cut_sizes[static_cast<std::size_t>(pu)];
+      ++cut_sizes[static_cast<std::size_t>(pv)];
+    }
+  }
+  return finalize(nparts, el.n, m, vert_sizes, edge_sizes, cut_sizes, cut);
+}
+
+QualityReport evaluate_dist(sim::Comm& comm, const graph::DistGraph& g,
+                            const std::vector<part_t>& parts,
+                            part_t nparts) {
+  const std::vector<count_t> vert_sizes =
+      core::compute_vertex_sizes(comm, g, parts, nparts);
+  const std::vector<count_t> edge_sizes =
+      core::compute_edge_sizes(comm, g, parts, nparts);
+  const std::vector<count_t> cut_sizes =
+      core::compute_cut_sizes(comm, g, parts, nparts);
+  count_t local_cut_arcs = 0;
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    for (const lid_t u : g.neighbors(v))
+      if (parts[u] != parts[v]) ++local_cut_arcs;
+  // Each cut edge appears as one arc at each endpoint's owner.
+  const count_t cut = comm.allreduce_sum(local_cut_arcs) / 2;
+  return finalize(nparts, g.n_global(), g.m_global(), vert_sizes, edge_sizes,
+                  cut_sizes, cut);
+}
+
+double geometric_mean(std::span<const double> values) {
+  XTRA_ASSERT(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    XTRA_ASSERT_MSG(v > 0.0, "geometric mean needs positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace xtra::metrics

@@ -1,0 +1,47 @@
+// Partition quality metrics (paper §V-B).
+//
+// Two architecture-independent quality metrics drive every comparison:
+//   * edge cut ratio        |C(G,Pi)| / |E|
+//   * scaled max cut ratio  max_k |C(G,pi_k)| / (|E|/p)
+// plus the two balance constraints:
+//   * vertex imbalance      max_k |V(pi_k)| / (|V|/p)
+//   * edge imbalance        max_k deg(pi_k) / (2|E|/p)   (degree-sum
+//     convention, matching the partitioner's Se tracking).
+// Lower is better everywhere; imbalance 1.0 is perfect balance.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dist_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::metrics {
+
+struct QualityReport {
+  part_t nparts = 0;
+  count_t edges = 0;
+  count_t cut = 0;             ///< |C(G,Pi)|
+  count_t max_part_cut = 0;    ///< max_k |C(G,pi_k)|
+  double edge_cut_ratio = 0.0;
+  double scaled_max_cut = 0.0;
+  double vertex_imbalance = 0.0;
+  double edge_imbalance = 0.0;
+};
+
+/// Serial evaluation over a canonicalized undirected edge list and a
+/// global part vector indexed by gid.
+QualityReport evaluate(const graph::EdgeList& el,
+                       const std::vector<part_t>& parts, part_t nparts);
+
+/// Distributed evaluation (collective); `parts` is the local view
+/// (owned + ghosts) as returned by core::partition.
+QualityReport evaluate_dist(sim::Comm& comm, const graph::DistGraph& g,
+                            const std::vector<part_t>& parts, part_t nparts);
+
+/// Geometric mean, used for the paper's "performance ratio" quality
+/// aggregation (§V-B). Values must be positive.
+double geometric_mean(std::span<const double> values);
+
+}  // namespace xtra::metrics

@@ -1,0 +1,377 @@
+// Simulated message-passing runtime (the "MPI" substrate).
+//
+// The paper runs XtraPuLP as MPI+OpenMP on up to 8192 nodes of Blue
+// Waters. This environment has no MPI and a single core, so — per the
+// documented substitution in DESIGN.md — we provide an in-process
+// runtime with the same semantics: each *rank* is a std::thread with
+// private data, and ranks may exchange data only through the
+// collectives below. Because XtraPuLP is bulk-synchronous (local
+// compute + Alltoallv + Allreduce per iteration), running the identical
+// program over this runtime exercises the same distribution logic,
+// ghost-update protocol, and oscillation behaviour as real MPI; only
+// absolute wall-clock changes.
+//
+// Provided collectives (blocking, matching MPI semantics):
+//   barrier, bcast, allreduce(sum/max/min), alltoall, alltoallv,
+//   gatherv, allgatherv, scan-free reductions of scalars.
+//
+// Every collective accounts the bytes a real MPI rank would put on the
+// wire (self-destined data is free), so benches can report
+// communication volume — the architecture-independent component of the
+// paper's timing results.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace xtra::sim {
+
+/// Thrown on ranks that reach a collective after another rank failed;
+/// unwinds the whole world cleanly instead of deadlocking.
+struct WorldAborted : std::runtime_error {
+  WorldAborted() : std::runtime_error("mpisim world aborted by peer rank") {}
+};
+
+/// Per-rank communication statistics.
+struct CommStats {
+  count_t bytes_sent = 0;      ///< payload bytes leaving this rank
+  count_t messages_sent = 0;   ///< point-to-point segments with data
+  count_t collectives = 0;     ///< collective invocations
+  double comm_seconds = 0.0;   ///< wall time inside collectives
+};
+
+namespace detail {
+
+/// Shared state for one world of ranks. Internal to the runtime.
+class WorldState {
+ public:
+  explicit WorldState(int nranks)
+      : nranks_(nranks),
+        barrier_(nranks),
+        slots_(static_cast<std::size_t>(nranks)),
+        aux_slots_(static_cast<std::size_t>(nranks)),
+        size_slots_(static_cast<std::size_t>(nranks), 0),
+        stats_(static_cast<std::size_t>(nranks)) {}
+
+  int nranks() const { return nranks_; }
+
+  /// Barrier that converts a peer failure into WorldAborted.
+  void sync() {
+    barrier_.arrive_and_wait();
+    if (failed_.load(std::memory_order_acquire)) throw WorldAborted{};
+  }
+
+  /// Called exactly once by a rank that is exiting with an exception:
+  /// marks the world failed and permanently removes the rank from the
+  /// barrier so surviving ranks cannot deadlock.
+  void abandon() {
+    failed_.store(true, std::memory_order_release);
+    barrier_.arrive_and_drop();
+  }
+
+  const void*& slot(int rank) { return slots_[static_cast<std::size_t>(rank)]; }
+  const void*& aux_slot(int rank) {
+    return aux_slots_[static_cast<std::size_t>(rank)];
+  }
+  std::size_t& size_slot(int rank) {
+    return size_slots_[static_cast<std::size_t>(rank)];
+  }
+  CommStats& stats(int rank) { return stats_[static_cast<std::size_t>(rank)]; }
+
+ private:
+  int nranks_;
+  std::barrier<> barrier_;
+  std::atomic<bool> failed_{false};
+  // Publication slots: each rank writes only its own entry between the
+  // two barriers of a collective, so no locking is needed.
+  std::vector<const void*> slots_;
+  std::vector<const void*> aux_slots_;
+  std::vector<std::size_t> size_slots_;
+  std::vector<CommStats> stats_;
+};
+
+}  // namespace detail
+
+/// Handle through which one rank participates in its world. Move-only
+/// view; cheap to pass by reference into algorithm code.
+class Comm {
+ public:
+  Comm(detail::WorldState* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->nranks(); }
+  bool is_root() const { return rank_ == 0; }
+
+  /// Block until every rank in the world reaches the barrier.
+  void barrier() {
+    Timer t;
+    world_->sync();
+    note(0, 0, t);
+  }
+
+  /// Broadcast `data` from `root` to all ranks (resizing receivers).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root = 0) {
+    Timer t;
+    if (rank_ == root) {
+      world_->slot(root) = data.data();
+      world_->size_slot(root) = data.size();
+    }
+    world_->sync();
+    if (rank_ != root) {
+      data.resize(world_->size_slot(root));
+      std::memcpy(data.data(), world_->slot(root), data.size() * sizeof(T));
+    }
+    world_->sync();
+    note(rank_ == root ? static_cast<count_t>(data.size() * sizeof(T)) *
+                             (size() - 1)
+                       : 0,
+         rank_ == root ? size() - 1 : 0, t);
+  }
+
+  /// Broadcast a single trivially-copyable value from root.
+  template <typename T>
+  T bcast_value(T value, int root = 0) {
+    std::vector<T> v{value};
+    bcast(v, root);
+    return v[0];
+  }
+
+  /// Element-wise in-place allreduce over equal-length vectors.
+  /// `op` must be associative and commutative, e.g. std::plus<>{}.
+  template <typename T, typename Op>
+  void allreduce(std::vector<T>& data, Op op) {
+    Timer t;
+    world_->slot(rank_) = data.data();
+    world_->size_slot(rank_) = data.size();
+    world_->sync();
+    std::vector<T> acc(data.size());
+    for (int r = 0; r < size(); ++r) {
+      XTRA_ASSERT_MSG(world_->size_slot(r) == data.size(),
+                      "allreduce length mismatch across ranks");
+      const T* src = static_cast<const T*>(world_->slot(r));
+      if (r == 0) {
+        std::copy(src, src + data.size(), acc.begin());
+      } else {
+        for (std::size_t i = 0; i < data.size(); ++i)
+          acc[i] = op(acc[i], src[i]);
+      }
+    }
+    world_->sync();
+    data = std::move(acc);
+    // Ring-allreduce cost model: every rank sends its payload once
+    // (nothing goes on the wire in a single-rank world).
+    note(size() > 1 ? static_cast<count_t>(data.size() * sizeof(T)) : 0,
+         size() > 1 ? 1 : 0, t);
+  }
+
+  template <typename T>
+  void allreduce_sum(std::vector<T>& data) {
+    allreduce(data, std::plus<T>{});
+  }
+  template <typename T>
+  void allreduce_max(std::vector<T>& data) {
+    allreduce(data, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  void allreduce_min(std::vector<T>& data) {
+    allreduce(data, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  template <typename T>
+  T allreduce_sum(T value) {
+    std::vector<T> v{value};
+    allreduce_sum(v);
+    return v[0];
+  }
+  template <typename T>
+  T allreduce_max(T value) {
+    std::vector<T> v{value};
+    allreduce_max(v);
+    return v[0];
+  }
+  template <typename T>
+  T allreduce_min(T value) {
+    std::vector<T> v{value};
+    allreduce_min(v);
+    return v[0];
+  }
+
+  /// Logical AND/OR reductions for convergence tests.
+  bool allreduce_and(bool value) {
+    return allreduce_min<std::uint8_t>(value ? 1 : 0) != 0;
+  }
+  bool allreduce_or(bool value) {
+    return allreduce_max<std::uint8_t>(value ? 1 : 0) != 0;
+  }
+
+  /// MPI_Alltoall with exactly one element per destination rank.
+  /// send.size() == size(); result[r] is what rank r sent to us.
+  template <typename T>
+  std::vector<T> alltoall(const std::vector<T>& send) {
+    XTRA_ASSERT(send.size() == static_cast<std::size_t>(size()));
+    Timer t;
+    world_->slot(rank_) = send.data();
+    world_->sync();
+    std::vector<T> recv(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r)
+      recv[static_cast<std::size_t>(r)] =
+          static_cast<const T*>(world_->slot(r))[rank_];
+    world_->sync();
+    note(static_cast<count_t>((size() - 1) * sizeof(T)), size() - 1, t);
+    return recv;
+  }
+
+  /// MPI_Alltoallv. sendcounts[r] elements destined for rank r are laid
+  /// out contiguously in `send` (offsets are the prefix sums of
+  /// sendcounts). Returns the concatenated segments received from ranks
+  /// 0..size()-1; if `recvcounts_out` is non-null it receives the
+  /// per-source counts.
+  template <typename T>
+  std::vector<T> alltoallv(const std::vector<T>& send,
+                           const std::vector<count_t>& sendcounts,
+                           std::vector<count_t>* recvcounts_out = nullptr) {
+    XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
+    Timer t;
+    std::vector<count_t> sendoffsets(sendcounts.size() + 1, 0);
+    for (std::size_t i = 0; i < sendcounts.size(); ++i)
+      sendoffsets[i + 1] = sendoffsets[i] + sendcounts[i];
+    XTRA_ASSERT_MSG(
+        static_cast<std::size_t>(sendoffsets.back()) == send.size(),
+        "alltoallv sendcounts must sum to send buffer length");
+
+    world_->slot(rank_) = send.data();
+    world_->aux_slot(rank_) = sendcounts.data();
+    world_->sync();
+
+    std::vector<count_t> recvcounts(static_cast<std::size_t>(size()));
+    count_t total = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto* counts = static_cast<const count_t*>(world_->aux_slot(r));
+      recvcounts[static_cast<std::size_t>(r)] = counts[rank_];
+      total += counts[rank_];
+    }
+    std::vector<T> recv(static_cast<std::size_t>(total));
+    count_t out = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto* counts = static_cast<const count_t*>(world_->aux_slot(r));
+      count_t offset = 0;
+      for (int q = 0; q < rank_; ++q) offset += counts[q];
+      const T* src = static_cast<const T*>(world_->slot(r)) + offset;
+      std::copy(src, src + counts[rank_], recv.begin() + out);
+      out += counts[rank_];
+    }
+    world_->sync();
+
+    count_t bytes = 0;
+    count_t msgs = 0;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      if (sendcounts[static_cast<std::size_t>(r)] > 0) {
+        bytes += sendcounts[static_cast<std::size_t>(r)] *
+                 static_cast<count_t>(sizeof(T));
+        ++msgs;
+      }
+    }
+    note(bytes, msgs, t);
+    if (recvcounts_out) *recvcounts_out = std::move(recvcounts);
+    return recv;
+  }
+
+  /// Gather variable-length contributions to `root` (others get {}).
+  template <typename T>
+  std::vector<T> gatherv(const std::vector<T>& send, int root = 0) {
+    Timer t;
+    world_->slot(rank_) = send.data();
+    world_->size_slot(rank_) = send.size();
+    world_->sync();
+    std::vector<T> recv;
+    if (rank_ == root) {
+      std::size_t total = 0;
+      for (int r = 0; r < size(); ++r) total += world_->size_slot(r);
+      recv.reserve(total);
+      for (int r = 0; r < size(); ++r) {
+        const T* src = static_cast<const T*>(world_->slot(r));
+        recv.insert(recv.end(), src, src + world_->size_slot(r));
+      }
+    }
+    world_->sync();
+    note(rank_ == root ? 0
+                       : static_cast<count_t>(send.size() * sizeof(T)),
+         rank_ == root ? 0 : 1, t);
+    return recv;
+  }
+
+  /// Allgatherv: every rank receives the concatenation of all
+  /// contributions in rank order.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& send) {
+    Timer t;
+    world_->slot(rank_) = send.data();
+    world_->size_slot(rank_) = send.size();
+    world_->sync();
+    std::size_t total = 0;
+    for (int r = 0; r < size(); ++r) total += world_->size_slot(r);
+    std::vector<T> recv;
+    recv.reserve(total);
+    for (int r = 0; r < size(); ++r) {
+      const T* src = static_cast<const T*>(world_->slot(r));
+      recv.insert(recv.end(), src, src + world_->size_slot(r));
+    }
+    world_->sync();
+    note(static_cast<count_t>(send.size() * sizeof(T)) * (size() - 1),
+         size() - 1, t);
+    return recv;
+  }
+
+  /// This rank's communication statistics (valid any time).
+  const CommStats& stats() const { return world_->stats(rank_); }
+  /// Reset this rank's statistics (callers should barrier around this).
+  void reset_stats() { world_->stats(rank_) = CommStats{}; }
+
+  /// Sum of bytes_sent across all ranks; collective (must be called by
+  /// every rank).
+  count_t global_bytes_sent() {
+    return allreduce_sum<count_t>(stats().bytes_sent);
+  }
+
+ private:
+  void note(count_t bytes, count_t msgs, const Timer& t) {
+    CommStats& s = world_->stats(rank_);
+    s.bytes_sent += bytes;
+    s.messages_sent += msgs;
+    s.collectives += 1;
+    s.comm_seconds += t.seconds();
+  }
+
+  detail::WorldState* world_;
+  int rank_;
+};
+
+/// Launch `nranks` rank threads, each running fn(comm). Blocks until
+/// all ranks finish; rethrows the first rank exception (after cleanly
+/// unwinding the rest of the world).
+void run_world(int nranks, const std::function<void(Comm&)>& fn);
+
+/// run_world, collecting fn's per-rank return values in rank order.
+template <typename T>
+std::vector<T> run_world_collect(int nranks,
+                                 const std::function<T(Comm&)>& fn) {
+  std::vector<T> results(static_cast<std::size_t>(nranks));
+  run_world(nranks, [&](Comm& comm) {
+    results[static_cast<std::size_t>(comm.rank())] = fn(comm);
+  });
+  return results;
+}
+
+}  // namespace xtra::sim

@@ -1,0 +1,45 @@
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "mpisim/comm.hpp"
+
+namespace xtra::sim {
+
+void run_world(int nranks, const std::function<void(Comm&)>& fn) {
+  XTRA_ASSERT_MSG(nranks >= 1, "world needs at least one rank");
+
+  detail::WorldState world(nranks);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto rank_main = [&](int rank) {
+    Comm comm(&world, rank);
+    try {
+      fn(comm);
+    } catch (const WorldAborted&) {
+      // Cascade from a peer's failure: the root cause was already
+      // recorded (abandon() publishes the failed flag only after the
+      // originating rank stored its exception), so just exit cleanly.
+      world.abandon();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.abandon();
+    }
+  };
+
+  if (nranks == 1) {
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace xtra::sim

@@ -1,0 +1,38 @@
+// Internal invariant checking for the XtraPuLP reproduction.
+//
+// XTRA_ASSERT is active in all build types (the algorithms here are
+// subtle enough that silent corruption is worse than the ~negligible
+// branch cost); XTRA_DEBUG_ASSERT compiles away outside debug builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xtra {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "XTRA_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " -- " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace xtra
+
+#define XTRA_ASSERT(expr)                                     \
+  do {                                                        \
+    if (!(expr)) [[unlikely]]                                 \
+      ::xtra::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define XTRA_ASSERT_MSG(expr, msg)                         \
+  do {                                                     \
+    if (!(expr)) [[unlikely]]                              \
+      ::xtra::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define XTRA_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define XTRA_DEBUG_ASSERT(expr) XTRA_ASSERT(expr)
+#endif

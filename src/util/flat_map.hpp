@@ -1,0 +1,100 @@
+// Open-addressing hash map from global vertex id to local index.
+//
+// The paper (III-A): "Each vertex's global identifier is mapped to a
+// task-specific local one using a hash map. Local to global translation
+// uses values stored in a flat array."  std::unordered_map's node
+// allocation is a known scalability sink at billions of lookups, so we
+// use linear-probing open addressing with splitmix64 mixing, matching
+// what the real XtraPuLP implementation does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace xtra {
+
+/// Hash map gid -> lid specialized for insert-once / lookup-many usage.
+/// Not thread-safe for concurrent writes.
+class GidToLidMap {
+ public:
+  GidToLidMap() { rehash(kMinCapacity); }
+
+  /// Reserve space for at least n keys without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (want * kMaxLoadDen < n * kMaxLoadNum + want) want <<= 1;
+    if (want > capacity_) rehash(want);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Insert key->value; returns false (and leaves the map unchanged)
+  /// if the key is already present.
+  bool insert(gid_t key, lid_t value) {
+    if ((size_ + 1) * kMaxLoadDen > capacity_ * kMaxLoadNum)
+      rehash(capacity_ * 2);
+    std::size_t slot = probe_start(key);
+    while (slots_[slot].lid != kInvalidLid) {
+      if (slots_[slot].gid == key) return false;
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = {key, value};
+    ++size_;
+    return true;
+  }
+
+  /// Returns the mapped lid or kInvalidLid if absent.
+  lid_t find(gid_t key) const {
+    std::size_t slot = probe_start(key);
+    while (slots_[slot].lid != kInvalidLid) {
+      if (slots_[slot].gid == key) return slots_[slot].lid;
+      slot = (slot + 1) & mask_;
+    }
+    return kInvalidLid;
+  }
+
+  bool contains(gid_t key) const { return find(key) != kInvalidLid; }
+
+  void clear() {
+    for (auto& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    gid_t gid = 0;
+    lid_t lid = kInvalidLid;  // kInvalidLid marks an empty slot
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  // Max load factor 7/10.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 10;
+
+  std::size_t probe_start(gid_t key) const {
+    return static_cast<std::size_t>(splitmix64(key)) & mask_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    XTRA_ASSERT((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.lid != kInvalidLid) insert(s.gid, s.lid);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xtra

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xtra {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("XTRA_LOG");
+  if (!env) return LogLevel::kWarn;
+  if (!std::strcmp(env, "debug")) return LogLevel::kDebug;
+  if (!std::strcmp(env, "info")) return LogLevel::kInfo;
+  if (!std::strcmp(env, "error")) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{static_cast<int>(initial_threshold())};
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[xtra %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace xtra

@@ -1,0 +1,42 @@
+// Minimal leveled logging. Benches print their tables directly; this is
+// for diagnostics, rate-limited to avoid interleaving from rank threads.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace xtra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+/// Controlled by the XTRA_LOG env var (debug|info|warn|error).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+#define XTRA_LOG_INFO(...) ::xtra::log(::xtra::LogLevel::kInfo, __VA_ARGS__)
+#define XTRA_LOG_WARN(...) ::xtra::log(::xtra::LogLevel::kWarn, __VA_ARGS__)
+#define XTRA_LOG_DEBUG(...) ::xtra::log(::xtra::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace xtra

@@ -1,0 +1,39 @@
+// Exclusive prefix sums, the workhorse of every bucketed exchange
+// (Algorithm 3's sendOffsets <- prefixSums(sendCounts)).
+#pragma once
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace xtra {
+
+/// Returns offsets where offsets[i] = sum of counts[0..i), with one
+/// extra trailing element equal to the total. offsets.size() ==
+/// counts.size() + 1.
+template <typename T>
+std::vector<T> exclusive_prefix_sum(const std::vector<T>& counts) {
+  std::vector<T> offsets(counts.size() + 1);
+  T running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i] = running;
+    running += counts[i];
+  }
+  offsets[counts.size()] = running;
+  return offsets;
+}
+
+/// In-place exclusive scan: v[i] becomes sum of the original v[0..i).
+/// Returns the grand total.
+template <typename T>
+T exclusive_scan_inplace(std::vector<T>& v) {
+  T running = 0;
+  for (auto& x : v) {
+    T next = running + x;
+    x = running;
+    running = next;
+  }
+  return running;
+}
+
+}  // namespace xtra

@@ -1,0 +1,3 @@
+#include "util/rng.hpp"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,103 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through Rng (xoshiro256**) seeded
+// via SplitMix64, so every experiment is reproducible bit-for-bit.
+// Each simulated rank derives an independent stream from (seed, rank).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace xtra {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** PRNG. Small, fast, high quality; satisfies
+/// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) { reseed(seed); }
+
+  /// Derive an independent stream for (seed, stream) pairs, e.g. one
+  /// stream per simulated MPI rank.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    reseed(splitmix64(seed) ^ splitmix64(stream * 0x9e3779b97f4a7c15ULL + 1));
+  }
+
+  void reseed(std::uint64_t seed) {
+    for (auto& w : s_) {
+      seed = splitmix64(seed);
+      w = seed;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t(0); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    XTRA_DEBUG_ASSERT(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Stateless uniform hash of a 64-bit key to [0, buckets). Used for the
+/// "random" vertex distribution so any rank can compute ownership
+/// without communication.
+inline std::uint64_t hash_to_bucket(std::uint64_t key, std::uint64_t salt,
+                                    std::uint64_t buckets) {
+  XTRA_DEBUG_ASSERT(buckets > 0);
+  const std::uint64_t h = splitmix64(key ^ splitmix64(salt));
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(h) * buckets) >> 64);
+}
+
+}  // namespace xtra

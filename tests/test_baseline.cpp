@@ -1,0 +1,308 @@
+// Tests for the baseline partitioners: serial graph substrate,
+// trivial layouts, PuLP, the multilevel (ParMETIS stand-in), and SCLP
+// (KaHIP stand-in).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "baseline/coarsen.hpp"
+#include "baseline/partitioners.hpp"
+#include "gen/generators.hpp"
+#include "metrics/quality.hpp"
+
+namespace xtra::baseline {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList two_triangles_bridge() {
+  EdgeList el;
+  el.n = 6;
+  el.edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}};
+  return el;
+}
+
+// ---------------------------------------------------------------------------
+// SerialGraph
+
+TEST(SerialGraph, BuildSymmetrizesAndCounts) {
+  const SerialGraph g = build_serial_graph(two_triangles_bridge());
+  EXPECT_EQ(g.n, 6u);
+  EXPECT_EQ(g.m, 7);
+  EXPECT_EQ(g.adj.size(), 14u);
+  EXPECT_EQ(g.total_vwgt, 6);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(5), 2);
+  std::set<gid_t> n2(g.neighbors(2).begin(), g.neighbors(2).end());
+  EXPECT_EQ(n2, (std::set<gid_t>{0, 1, 3}));
+}
+
+TEST(SerialGraph, DuplicateEdgesDoNotDoubleWeight) {
+  EdgeList el;
+  el.n = 3;
+  el.edges = {{0, 1}, {1, 0}, {0, 1}, {1, 2}};
+  const SerialGraph g = build_serial_graph(el);
+  EXPECT_EQ(g.m, 2);
+  for (const count_t w : g.ewgt) EXPECT_EQ(w, 1);
+}
+
+TEST(SerialGraph, ContractMergesWeights) {
+  // Contract the two triangles to two super-vertices.
+  const SerialGraph g = build_serial_graph(two_triangles_bridge());
+  const std::vector<gid_t> cmap{0, 0, 0, 1, 1, 1};
+  const SerialGraph c = contract(g, cmap, 2);
+  EXPECT_EQ(c.n, 2u);
+  EXPECT_EQ(c.m, 1);          // only the bridge survives
+  EXPECT_EQ(c.vwgt[0], 3);
+  EXPECT_EQ(c.vwgt[1], 3);
+  EXPECT_EQ(c.ewgt[0], 1);    // bridge weight
+  EXPECT_EQ(c.total_vwgt, 6);
+}
+
+TEST(SerialGraph, ContractSumsParallelEdges) {
+  EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 2}, {1, 2}, {0, 3}, {1, 3}};
+  const SerialGraph g = build_serial_graph(el);
+  // Merge {0,1} and {2,3}: four parallel cross edges -> weight 4.
+  const SerialGraph c = contract(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(c.n, 2u);
+  EXPECT_EQ(c.ewgt[0], 4);
+}
+
+TEST(SerialGraph, WeightedCutMatchesHand) {
+  const SerialGraph g = build_serial_graph(two_triangles_bridge());
+  EXPECT_EQ(weighted_cut(g, {0, 0, 0, 1, 1, 1}), 1);
+  // Alternating labels keep 0-2 and 3-5 internal; the other 5 edges cut.
+  EXPECT_EQ(weighted_cut(g, {0, 1, 0, 1, 0, 1}), 5);
+  EXPECT_EQ(weighted_cut(g, {0, 0, 0, 0, 0, 0}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Trivial layouts
+
+TEST(Trivial, RandomPartitionBalancedAndDeterministic) {
+  const auto a = random_partition(50000, 8, 3);
+  const auto b = random_partition(50000, 8, 3);
+  EXPECT_EQ(a, b);
+  std::vector<count_t> sizes(8, 0);
+  for (const part_t p : a) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 8);
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  for (const count_t s : sizes) EXPECT_NEAR(s, 50000 / 8, 50000 / 8 * 0.1);
+}
+
+TEST(Trivial, VertexBlockIsContiguousAndEven) {
+  const auto parts = vertex_block_partition(10, 3);
+  EXPECT_EQ(parts, (std::vector<part_t>{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}));
+}
+
+TEST(Trivial, EdgeBlockBalancesEndpoints) {
+  // Star graph: vertex 0 has degree 9, others 1. Edge-block must put
+  // the hub alone-ish; vertex-block would not.
+  EdgeList el;
+  el.n = 10;
+  for (gid_t v = 1; v < 10; ++v) el.edges.push_back({0, v});
+  const SerialGraph g = build_serial_graph(el);
+  const auto parts = edge_block_partition(g, 2);
+  std::vector<count_t> endpoints(2, 0);
+  for (gid_t v = 0; v < g.n; ++v)
+    endpoints[static_cast<std::size_t>(parts[v])] += g.degree(v);
+  // 18 endpoints total; hub side should not exceed ~hub+slack.
+  EXPECT_LE(endpoints[0], 12);
+  EXPECT_GE(endpoints[1], 6);
+  // Contiguity.
+  for (gid_t v = 0; v + 1 < g.n; ++v) EXPECT_LE(parts[v], parts[v + 1]);
+}
+
+// ---------------------------------------------------------------------------
+// Matching / coarsening
+
+TEST(Matching, IsSymmetricAndValid) {
+  const SerialGraph g =
+      build_serial_graph(gen::erdos_renyi(500, 8, 3));
+  const auto match = heavy_edge_matching(g, 7);
+  for (gid_t v = 0; v < g.n; ++v) {
+    ASSERT_LT(match[v], g.n);
+    EXPECT_EQ(match[match[v]], v);  // symmetric (or self)
+  }
+  // A reasonable fraction of a connected ER graph must match.
+  count_t matched = 0;
+  for (gid_t v = 0; v < g.n; ++v)
+    if (match[v] != v) ++matched;
+  EXPECT_GT(matched, static_cast<count_t>(g.n / 2));
+}
+
+TEST(Matching, CmapHalvesMatchedPairs) {
+  std::vector<gid_t> match{1, 0, 2, 4, 3};  // (0,1) matched, 2 solo, (3,4)
+  std::vector<gid_t> cmap;
+  const gid_t nc = matching_to_cmap(match, cmap);
+  EXPECT_EQ(nc, 3u);
+  EXPECT_EQ(cmap[0], cmap[1]);
+  EXPECT_EQ(cmap[3], cmap[4]);
+  EXPECT_NE(cmap[0], cmap[2]);
+}
+
+TEST(Coarsen, HierarchyShrinksAndPreservesWeight) {
+  const SerialGraph g =
+      build_serial_graph(gen::community_graph(4000, 10, 0.6, 2.3, 1));
+  const auto levels = coarsen_by_matching(g, 200, 5);
+  ASSERT_FALSE(levels.empty());
+  gid_t prev_n = g.n;
+  for (const auto& level : levels) {
+    EXPECT_LT(level.graph.n, prev_n);
+    EXPECT_EQ(level.graph.total_vwgt, g.total_vwgt);  // weight conserved
+    prev_n = level.graph.n;
+  }
+  EXPECT_LE(levels.back().graph.n, 400u);  // close to target
+}
+
+TEST(Coarsen, SclpClusteringRespectsCap) {
+  const SerialGraph g =
+      build_serial_graph(gen::community_graph(3000, 10, 0.7, 2.3, 2));
+  gid_t n_clusters = 0;
+  const count_t cap = 100;
+  const auto cmap = sclp_cluster(g, cap, 3, 3, n_clusters);
+  ASSERT_GT(n_clusters, 0u);
+  std::vector<count_t> weight(n_clusters, 0);
+  for (gid_t v = 0; v < g.n; ++v) {
+    ASSERT_LT(cmap[v], n_clusters);
+    weight[cmap[v]] += g.vwgt[v];
+  }
+  for (const count_t w : weight) EXPECT_LE(w, cap);
+  EXPECT_LT(n_clusters, g.n);  // actually clustered
+}
+
+// ---------------------------------------------------------------------------
+// Bisection
+
+TEST(Bisection, SplitsNearTargetAndFindsBridge) {
+  const SerialGraph g = build_serial_graph(two_triangles_bridge());
+  const auto bis = grow_bisection(g, 3, 0.10, 4, 8);
+  const auto w = part_weights(g, bis, 2);
+  EXPECT_EQ(w[0] + w[1], 6);
+  EXPECT_GE(w[0], 2);
+  EXPECT_LE(w[0], 4);
+  EXPECT_LE(weighted_cut(g, bis), 3);
+}
+
+TEST(Bisection, HandlesDisconnectedGraphs) {
+  EdgeList el;
+  el.n = 8;
+  el.edges = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  const SerialGraph g = build_serial_graph(el);
+  const auto bis = grow_bisection(g, 4, 0.10, 1, 4);
+  const auto w = part_weights(g, bis, 2);
+  EXPECT_EQ(w[0] + w[1], 8);
+  EXPECT_GT(w[0], 0);
+  EXPECT_GT(w[1], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Full partitioners (property sweep across graphs and part counts)
+
+struct Case {
+  const char* gen;
+  part_t nparts;
+};
+
+class Partitioners : public ::testing::TestWithParam<Case> {
+ protected:
+  static EdgeList make(const std::string& name) {
+    if (name == "community") return gen::community_graph(3000, 10, 0.6, 2.3, 7);
+    if (name == "mesh") return gen::mesh2d(55, 55);
+    if (name == "rmat") return gen::rmat(11, 8, 7);
+    return gen::erdos_renyi(2000, 8, 7);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Partitioners,
+    ::testing::Values(Case{"community", 2}, Case{"community", 8},
+                      Case{"mesh", 4}, Case{"mesh", 16}, Case{"rmat", 4},
+                      Case{"er", 8}),
+    [](const auto& info) {
+      return std::string(info.param.gen) + "_p" +
+             std::to_string(info.param.nparts);
+    });
+
+TEST_P(Partitioners, PulpIsValidAndBalanced) {
+  const auto [name, nparts] = GetParam();
+  const EdgeList el = make(name);
+  const SerialGraph g = build_serial_graph(el);
+  const auto parts = pulp_partition(g, nparts);
+  const auto q = metrics::evaluate(el, parts, nparts);
+  EXPECT_LE(q.vertex_imbalance, 1.12);
+  EXPECT_LT(q.edge_cut_ratio, 1.0);
+}
+
+TEST_P(Partitioners, MultilevelIsValidAndBalanced) {
+  const auto [name, nparts] = GetParam();
+  const EdgeList el = make(name);
+  const SerialGraph g = build_serial_graph(el);
+  const auto parts = multilevel_partition(g, nparts);
+  const auto q = metrics::evaluate(el, parts, nparts);
+  EXPECT_LE(q.vertex_imbalance, 1.15);
+  EXPECT_LT(q.edge_cut_ratio, 1.0);
+}
+
+TEST_P(Partitioners, SclpIsValidAndBalanced) {
+  const auto [name, nparts] = GetParam();
+  const EdgeList el = make(name);
+  const SerialGraph g = build_serial_graph(el);
+  const auto parts = sclp_partition(g, nparts);
+  const auto q = metrics::evaluate(el, parts, nparts);
+  EXPECT_LE(q.vertex_imbalance, 1.15);
+  EXPECT_LT(q.edge_cut_ratio, 1.0);
+}
+
+TEST(Partitioners, AllBeatRandomOnMesh) {
+  const EdgeList el = gen::mesh2d(60, 60);
+  const SerialGraph g = build_serial_graph(el);
+  const double random_cut =
+      metrics::evaluate(el, random_partition(el.n, 8, 1), 8).edge_cut_ratio;
+  for (const auto& parts :
+       {pulp_partition(g, 8), multilevel_partition(g, 8),
+        sclp_partition(g, 8)}) {
+    EXPECT_LT(metrics::evaluate(el, parts, 8).edge_cut_ratio,
+              random_cut / 2);
+  }
+}
+
+TEST(Partitioners, MultilevelBestOnMesh) {
+  // The paper's Table II / Fig 4 shape: multilevel (ParMETIS) wins on
+  // regular meshes.
+  const EdgeList el = gen::mesh2d(60, 60);
+  const SerialGraph g = build_serial_graph(el);
+  const double ml =
+      metrics::evaluate(el, multilevel_partition(g, 8), 8).edge_cut_ratio;
+  const double lp =
+      metrics::evaluate(el, pulp_partition(g, 8), 8).edge_cut_ratio;
+  EXPECT_LE(ml, lp * 1.35);  // ml at least competitive
+}
+
+TEST(Partitioners, MemoryEnvelopeThrows) {
+  const SerialGraph g = build_serial_graph(gen::erdos_renyi(1000, 8, 1));
+  EXPECT_THROW(multilevel_partition(g, 4, {}, /*memory_limit_edges=*/100),
+               std::length_error);
+}
+
+TEST(Partitioners, SinglePartTrivial) {
+  const SerialGraph g = build_serial_graph(two_triangles_bridge());
+  for (const auto& parts :
+       {pulp_partition(g, 1), multilevel_partition(g, 1), sclp_partition(g, 1)})
+    for (const part_t p : parts) EXPECT_EQ(p, 0);
+}
+
+TEST(Partitioners, TwoTrianglesOptimal) {
+  const EdgeList el = two_triangles_bridge();
+  const SerialGraph g = build_serial_graph(el);
+  EXPECT_LE(weighted_cut(g, multilevel_partition(g, 2)), 1);
+  EXPECT_LE(weighted_cut(g, pulp_partition(g, 2)), 1);
+}
+
+}  // namespace
+}  // namespace xtra::baseline

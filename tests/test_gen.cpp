@@ -1,0 +1,211 @@
+// Tests for the graph generators: structural properties each class
+// must exhibit for the paper's experiments to be meaningful.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/bfs.hpp"
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::gen {
+namespace {
+
+std::vector<count_t> degrees(const graph::EdgeList& el) {
+  std::vector<count_t> deg(el.n, 0);
+  for (const auto& e : el.edges) {
+    ++deg[e.u];
+    if (!el.directed) ++deg[e.v];
+  }
+  return deg;
+}
+
+count_t max_degree(const graph::EdgeList& el) {
+  const auto deg = degrees(el);
+  return *std::max_element(deg.begin(), deg.end());
+}
+
+bool ids_in_range(const graph::EdgeList& el) {
+  return std::all_of(el.edges.begin(), el.edges.end(), [&](const auto& e) {
+    return e.u < el.n && e.v < el.n;
+  });
+}
+
+count_t serial_diameter_lb(const graph::EdgeList& el) {
+  // Distributed estimator on one rank == serial estimator.
+  count_t result = 0;
+  sim::run_world(1, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, graph::VertexDist::block(el.n, 1));
+    result = graph::estimate_diameter(comm, g, 4);
+  });
+  return result;
+}
+
+TEST(Rmat, SizeAndRange) {
+  const auto el = rmat(10, 8, 1);
+  EXPECT_EQ(el.n, 1024u);
+  EXPECT_FALSE(el.directed);
+  EXPECT_TRUE(ids_in_range(el));
+  // Duplicates removed, so edge count is below the nominal m but
+  // within a sane band.
+  EXPECT_GT(el.edge_count(), 1024 * 8 / 2 / 2);
+  EXPECT_LE(el.edge_count(), 1024 * 8 / 2);
+}
+
+TEST(Rmat, IsDeterministicPerSeed) {
+  EXPECT_EQ(rmat(8, 8, 5).edges, rmat(8, 8, 5).edges);
+  EXPECT_NE(rmat(8, 8, 5).edges, rmat(8, 8, 6).edges);
+}
+
+TEST(Rmat, SkewedDegreesVsErdosRenyi) {
+  const auto r = rmat(12, 16, 3);
+  const auto er = erdos_renyi(1 << 12, 16, 3);
+  // R-MAT hubs dwarf the ER maximum — the property behind the paper's
+  // "RMAT is the hardest class" observations (Fig 2, §V-A2).
+  EXPECT_GT(max_degree(r), 2 * max_degree(er));
+}
+
+TEST(ErdosRenyi, SizeAndNoSelfLoops) {
+  const auto el = erdos_renyi(5000, 10, 7);
+  EXPECT_EQ(el.n, 5000u);
+  EXPECT_TRUE(ids_in_range(el));
+  for (const auto& e : el.edges) EXPECT_NE(e.u, e.v);
+  const double davg = 2.0 * static_cast<double>(el.edge_count()) / 5000.0;
+  EXPECT_NEAR(davg, 10.0, 1.0);
+}
+
+TEST(ErdosRenyi, DegreeConcentration) {
+  const auto el = erdos_renyi(1 << 13, 16, 9);
+  EXPECT_LT(max_degree(el), 64);  // Poisson tail, no hubs
+}
+
+TEST(RandHd, AverageDegreeNearTarget) {
+  const auto el = rand_hd(20000, 16, 3);
+  const double davg = 2.0 * static_cast<double>(el.edge_count()) / 20000.0;
+  EXPECT_GT(davg, 10.0);
+  EXPECT_LE(davg, 16.5);
+}
+
+TEST(RandHd, EdgesAreLocalInIdSpace) {
+  const count_t davg = 16;
+  const auto el = rand_hd(10000, davg, 5);
+  for (const auto& e : el.edges) {
+    const auto dist = static_cast<count_t>(
+        std::min(e.v - e.u, el.n - (e.v - e.u)));  // ring distance, u<v
+    EXPECT_LT(dist, davg);
+  }
+}
+
+TEST(RandHd, HighDiameterVsErdosRenyi) {
+  const gid_t n = 4000;
+  const count_t d_hd = serial_diameter_lb(rand_hd(n, 8, 1));
+  const count_t d_er = serial_diameter_lb(erdos_renyi(n, 8, 1));
+  // The whole point of RandHD (§IV): Θ(n/davg) diameter vs Θ(log n).
+  EXPECT_GT(d_hd, 10 * d_er);
+}
+
+TEST(Mesh2d, StencilStructure) {
+  const auto el = mesh2d(10, 7);
+  EXPECT_EQ(el.n, 70u);
+  // 5-point stencil: rows*(cols-1) + (rows-1)*cols edges.
+  EXPECT_EQ(el.edge_count(), 10 * 6 + 9 * 7);
+  EXPECT_LE(max_degree(el), 4);
+}
+
+TEST(Mesh3d, StencilStructure) {
+  const auto el = mesh3d(5, 4, 3);
+  EXPECT_EQ(el.n, 60u);
+  EXPECT_EQ(el.edge_count(),
+            5 * 4 * 2 + 5 * 3 * 3 + 4 * 3 * 4);  // z, y, x directions
+  EXPECT_LE(max_degree(el), 6);
+}
+
+TEST(WattsStrogatz, RewiringShrinksDiameter) {
+  const count_t d0 = serial_diameter_lb(watts_strogatz(2000, 4, 0.0, 1));
+  const count_t d1 = serial_diameter_lb(watts_strogatz(2000, 4, 0.3, 1));
+  EXPECT_GT(d0, 4 * d1);
+}
+
+TEST(CommunityGraph, SizeRangeDeterminism) {
+  const auto a = community_graph(20000, 14, 0.55, 2.3, 8);
+  EXPECT_EQ(a.n, 20000u);
+  EXPECT_TRUE(ids_in_range(a));
+  EXPECT_EQ(a.edges, community_graph(20000, 14, 0.55, 2.3, 8).edges);
+  EXPECT_NE(a.edges, community_graph(20000, 14, 0.55, 2.3, 9).edges);
+}
+
+TEST(CommunityGraph, PowerLawTail) {
+  const auto el = community_graph(30000, 14, 0.55, 2.1, 4);
+  const auto deg = degrees(el);
+  const double davg = 2.0 * static_cast<double>(el.edge_count()) /
+                      static_cast<double>(el.n);
+  EXPECT_GT(max_degree(el), static_cast<count_t>(20 * davg));
+}
+
+TEST(Webcrawl, DirectedWithHostLocality) {
+  const auto el = webcrawl(20000, 16, 6);
+  EXPECT_TRUE(el.directed);
+  EXPECT_TRUE(ids_in_range(el));
+  // Locality: most arcs land within a small id window (same or nearby
+  // host in crawl order) — the property that gives block partitions of
+  // WDC12 their low cut (Fig 5 discussion).
+  count_t local = 0;
+  for (const auto& e : el.edges) {
+    const gid_t d = e.u > e.v ? e.u - e.v : e.v - e.u;
+    if (d < el.n / 16) ++local;
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(el.edge_count()),
+            0.45);
+}
+
+TEST(Webcrawl, HubsExist) {
+  const auto el = webcrawl(30000, 16, 2);
+  std::vector<count_t> indeg(el.n, 0);
+  for (const auto& e : el.edges) ++indeg[e.v];
+  const count_t max_in = *std::max_element(indeg.begin(), indeg.end());
+  EXPECT_GT(max_in, 100);  // Zipf-popular pages
+}
+
+TEST(Suite, AllEntriesGenerate) {
+  for (const auto& entry : suite()) {
+    const auto el = make_suite_graph(entry.name, 0.05);
+    EXPECT_GE(el.n, 256u) << entry.name;
+    EXPECT_GT(el.edge_count(), 0) << entry.name;
+    EXPECT_TRUE(ids_in_range(el)) << entry.name;
+    EXPECT_FALSE(el.directed) << entry.name;  // suite is symmetrized
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_suite_graph("no_such_graph"), std::out_of_range);
+}
+
+TEST(Suite, ClassFilterWorks) {
+  const auto meshes = suite(GraphClass::kMesh);
+  ASSERT_FALSE(meshes.empty());
+  for (const auto& e : meshes) EXPECT_EQ(e.cls, GraphClass::kMesh);
+  EXPECT_LT(meshes.size(), suite().size());
+}
+
+TEST(Suite, EnvScaleParses) {
+  ::setenv("XTRA_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 2.5);
+  ::setenv("XTRA_SCALE", "bogus", 1);
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+  ::unsetenv("XTRA_SCALE");
+  EXPECT_DOUBLE_EQ(env_scale(), 1.0);
+}
+
+TEST(Suite, ScaleChangesSize) {
+  const auto small = make_suite_graph("lj", 0.02);
+  const auto large = make_suite_graph("lj", 0.1);
+  EXPECT_LT(small.n, large.n);
+}
+
+}  // namespace
+}  // namespace xtra::gen

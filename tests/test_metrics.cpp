@@ -1,0 +1,149 @@
+// Tests for the quality metrics: hand-computed values, serial vs.
+// distributed agreement, and the geometric-mean aggregation.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/xtrapulp.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_graph.hpp"
+#include "metrics/quality.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::metrics {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexDist;
+
+EdgeList square_with_diagonals() {
+  // 4-cycle + both diagonals = K4.
+  EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}};
+  return el;
+}
+
+TEST(Evaluate, HandComputedK4Split) {
+  const EdgeList el = square_with_diagonals();
+  // Parts {0,1} and {2,3}: internal edges 0-1 and 2-3; cut = 4.
+  const std::vector<part_t> parts{0, 0, 1, 1};
+  const QualityReport q = evaluate(el, parts, 2);
+  EXPECT_EQ(q.edges, 6);
+  EXPECT_EQ(q.cut, 4);
+  EXPECT_NEAR(q.edge_cut_ratio, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(q.max_part_cut, 4);
+  EXPECT_NEAR(q.scaled_max_cut, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.vertex_imbalance, 1.0, 1e-12);  // perfectly balanced
+  EXPECT_NEAR(q.edge_imbalance, 1.0, 1e-12);    // K4 is degree-regular
+}
+
+TEST(Evaluate, AllSamePartHasZeroCut) {
+  const EdgeList el = square_with_diagonals();
+  const std::vector<part_t> parts{0, 0, 0, 0};
+  const QualityReport q = evaluate(el, parts, 1);
+  EXPECT_EQ(q.cut, 0);
+  EXPECT_EQ(q.edge_cut_ratio, 0.0);
+  EXPECT_EQ(q.scaled_max_cut, 0.0);
+  EXPECT_NEAR(q.vertex_imbalance, 1.0, 1e-12);
+}
+
+TEST(Evaluate, SingletonPartsCutEverything) {
+  const EdgeList el = square_with_diagonals();
+  const std::vector<part_t> parts{0, 1, 2, 3};
+  const QualityReport q = evaluate(el, parts, 4);
+  EXPECT_EQ(q.cut, 6);
+  EXPECT_NEAR(q.edge_cut_ratio, 1.0, 1e-12);
+  // Every vertex (degree 3) has all edges cut: max part cut = 3,
+  // average edges per part = 1.5.
+  EXPECT_EQ(q.max_part_cut, 3);
+  EXPECT_NEAR(q.scaled_max_cut, 2.0, 1e-12);
+}
+
+TEST(Evaluate, ImbalanceDetected) {
+  EdgeList el;
+  el.n = 6;
+  el.edges = {{0, 1}, {2, 3}, {4, 5}};
+  const std::vector<part_t> parts{0, 0, 0, 0, 0, 1};
+  const QualityReport q = evaluate(el, parts, 2);
+  // Part 0 has 5 of 6 vertices; perfect split would be 3.
+  EXPECT_NEAR(q.vertex_imbalance, 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(q.cut, 1);  // edge 4-5
+}
+
+TEST(Evaluate, IgnoresSelfLoops) {
+  EdgeList el;
+  el.n = 3;
+  el.edges = {{0, 1}, {1, 1}, {1, 2}};
+  const std::vector<part_t> parts{0, 0, 1};
+  const QualityReport q = evaluate(el, parts, 2);
+  EXPECT_EQ(q.edges, 2);
+  EXPECT_EQ(q.cut, 1);
+}
+
+class MetricsRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, MetricsRanks, ::testing::Values(1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "nranks_" + std::to_string(info.param);
+                         });
+
+TEST_P(MetricsRanks, DistributedMatchesSerialExactly) {
+  const int nranks = GetParam();
+  const EdgeList el = gen::community_graph(1200, 8, 0.6, 2.3, 31);
+  // An arbitrary but deterministic labeling.
+  std::vector<part_t> global(el.n);
+  for (gid_t v = 0; v < el.n; ++v) global[v] = static_cast<part_t>(v % 5);
+  const QualityReport serial = evaluate(el, global, 5);
+
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::random(el.n, nranks, 3));
+    std::vector<part_t> parts(g.n_total());
+    for (lid_t v = 0; v < g.n_total(); ++v)
+      parts[v] = static_cast<part_t>(g.gid_of(v) % 5);
+    const QualityReport dist = evaluate_dist(comm, g, parts, 5);
+    EXPECT_EQ(dist.cut, serial.cut);
+    EXPECT_EQ(dist.max_part_cut, serial.max_part_cut);
+    EXPECT_EQ(dist.edges, serial.edges);
+    EXPECT_DOUBLE_EQ(dist.edge_cut_ratio, serial.edge_cut_ratio);
+    EXPECT_DOUBLE_EQ(dist.scaled_max_cut, serial.scaled_max_cut);
+    EXPECT_DOUBLE_EQ(dist.vertex_imbalance, serial.vertex_imbalance);
+    EXPECT_DOUBLE_EQ(dist.edge_imbalance, serial.edge_imbalance);
+  });
+}
+
+TEST_P(MetricsRanks, PartitionQualityAgreesAcrossEvaluators) {
+  const int nranks = GetParam();
+  const EdgeList el = gen::community_graph(1500, 10, 0.6, 2.3, 7);
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::random(el.n, nranks, 3));
+    core::Params params;
+    params.nparts = 6;
+    const auto r = core::partition(comm, g, params);
+    const QualityReport dist = evaluate_dist(comm, g, r.parts, 6);
+    const auto global = core::gather_global_parts(comm, g, r.parts);
+    const QualityReport serial = evaluate(el, global, 6);
+    EXPECT_EQ(dist.cut, serial.cut);
+    EXPECT_EQ(dist.max_part_cut, serial.max_part_cut);
+  });
+}
+
+TEST(GeometricMean, KnownValues) {
+  const std::array<double, 2> v{1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
+  const std::array<double, 3> w{2.0, 2.0, 2.0};
+  EXPECT_NEAR(geometric_mean(w), 2.0, 1e-12);
+  const std::array<double, 1> x{7.5};
+  EXPECT_NEAR(geometric_mean(x), 7.5, 1e-12);
+}
+
+TEST(GeometricMean, OrderInvariant) {
+  const std::array<double, 3> a{1.5, 3.0, 9.0};
+  const std::array<double, 3> b{9.0, 1.5, 3.0};
+  EXPECT_NEAR(geometric_mean(a), geometric_mean(b), 1e-12);
+}
+
+}  // namespace
+}  // namespace xtra::metrics

@@ -1,0 +1,146 @@
+// Stress and interleaving tests for the simulated-MPI runtime: long
+// collective sequences, mixed collective types back-to-back, repeated
+// world construction, and type coverage — the failure modes of a
+// barrier-slot protocol are ordering bugs, which only sustained
+// sequences expose.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpisim/comm.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::sim {
+namespace {
+
+TEST(Stress, LongMixedCollectiveSequence) {
+  // 200 rounds of randomized collective types; every rank derives the
+  // same schedule from the round number, as a real BSP program would.
+  run_world(4, [](Comm& comm) {
+    const int n = comm.size();
+    for (int round = 0; round < 200; ++round) {
+      switch (splitmix64(round) % 5) {
+        case 0: {
+          std::vector<count_t> v{comm.rank() + round};
+          comm.allreduce_sum(v);
+          ASSERT_EQ(v[0], n * (n - 1) / 2 + n * round);
+          break;
+        }
+        case 1: {
+          std::vector<int> data;
+          const int root = round % n;
+          if (comm.rank() == root) data = {round};
+          comm.bcast(data, root);
+          ASSERT_EQ(data[0], round);
+          break;
+        }
+        case 2: {
+          std::vector<count_t> counts(static_cast<std::size_t>(n), 1);
+          std::vector<int> send(static_cast<std::size_t>(n),
+                                comm.rank() * 1000 + round);
+          const auto recv = comm.alltoallv(send, counts);
+          for (int r = 0; r < n; ++r)
+            ASSERT_EQ(recv[static_cast<std::size_t>(r)], r * 1000 + round);
+          break;
+        }
+        case 3:
+          comm.barrier();
+          break;
+        case 4: {
+          const auto all = comm.allgatherv(
+              std::vector<int>{comm.rank() + round});
+          ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+          for (int r = 0; r < n; ++r) ASSERT_EQ(all[r], r + round);
+          break;
+        }
+      }
+    }
+  });
+}
+
+TEST(Stress, AsymmetricAlltoallvPatterns) {
+  // Rank r sends only to ranks > r (triangular pattern) — exercises
+  // zero-count segments on both sides.
+  run_world(5, [](Comm& comm) {
+    const int n = comm.size();
+    std::vector<count_t> counts(static_cast<std::size_t>(n), 0);
+    std::vector<int> send;
+    for (int d = comm.rank() + 1; d < n; ++d) {
+      counts[static_cast<std::size_t>(d)] = comm.rank() + 1;
+      for (int i = 0; i <= comm.rank(); ++i) send.push_back(d);
+    }
+    std::vector<count_t> rcounts;
+    const auto recv = comm.alltoallv(send, counts, &rcounts);
+    // Receives come from ranks < me, s+1 items each, all equal to me.
+    std::size_t expected = 0;
+    for (int s = 0; s < comm.rank(); ++s)
+      expected += static_cast<std::size_t>(s) + 1;
+    ASSERT_EQ(recv.size(), expected);
+    for (const int v : recv) ASSERT_EQ(v, comm.rank());
+    for (int s = 0; s < n; ++s)
+      ASSERT_EQ(rcounts[static_cast<std::size_t>(s)],
+                s < comm.rank() ? s + 1 : 0);
+  });
+}
+
+TEST(Stress, ManyWorldsBackToBack) {
+  for (int i = 0; i < 30; ++i) {
+    for (const int n : {1, 2, 5}) {
+      run_world(n, [i, n](Comm& comm) {
+        ASSERT_EQ(comm.allreduce_sum(1), n);
+        ASSERT_EQ(comm.allreduce_max(comm.rank() + i), n - 1 + i);
+      });
+    }
+  }
+}
+
+TEST(Stress, WideWorld) {
+  // More ranks than cores by far; the runtime must still make progress.
+  run_world(16, [](Comm& comm) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_EQ(comm.allreduce_sum<count_t>(1), 16);
+      comm.barrier();
+    }
+  });
+}
+
+struct Wide {
+  double a;
+  std::uint64_t b;
+  std::uint32_t c;
+  friend bool operator==(const Wide&, const Wide&) = default;
+};
+
+TEST(Types, NonTrivialElementSizes) {
+  run_world(3, [](Comm& comm) {
+    std::vector<count_t> counts(3, 1);
+    std::vector<Wide> send(3, Wide{1.5, 7, static_cast<std::uint32_t>(
+                                               comm.rank())});
+    const auto recv = comm.alltoallv(send, counts);
+    for (int r = 0; r < 3; ++r)
+      ASSERT_EQ(recv[static_cast<std::size_t>(r)],
+                (Wide{1.5, 7, static_cast<std::uint32_t>(r)}));
+  });
+}
+
+TEST(Types, DoubleReductionPrecision) {
+  run_world(4, [](Comm& comm) {
+    std::vector<double> v{0.25, -0.5};
+    comm.allreduce_sum(v);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_DOUBLE_EQ(v[1], -2.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(0.1 * (comm.rank() + 1)), 0.4);
+  });
+}
+
+TEST(Stats, CommSecondsAccumulate) {
+  run_world(2, [](Comm& comm) {
+    comm.reset_stats();
+    for (int i = 0; i < 50; ++i) comm.barrier();
+    EXPECT_EQ(comm.stats().collectives, 50);
+    EXPECT_GE(comm.stats().comm_seconds, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace xtra::sim

@@ -1,0 +1,261 @@
+// Robustness and degenerate-input tests across the stack: extreme
+// graphs (empty, star, complete, single vertex), boundary part counts,
+// I/O fuzzing, and idempotence properties.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analytics/analytics.hpp"
+#include "baseline/partitioners.hpp"
+#include "core/xtrapulp.hpp"
+#include "gen/generators.hpp"
+#include "graph/dist_graph.hpp"
+#include "graph/io.hpp"
+#include "metrics/quality.hpp"
+#include "mpisim/comm.hpp"
+#include "spmv/spmv.hpp"
+
+namespace xtra {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexDist;
+
+EdgeList star(gid_t n) {
+  EdgeList el;
+  el.n = n;
+  for (gid_t v = 1; v < n; ++v) el.edges.push_back({0, v});
+  return el;
+}
+
+EdgeList complete(gid_t n) {
+  EdgeList el;
+  el.n = n;
+  for (gid_t a = 0; a < n; ++a)
+    for (gid_t b = a + 1; b < n; ++b) el.edges.push_back({a, b});
+  return el;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner on degenerate graphs
+
+TEST(Degenerate, EdgelessGraphPartitions) {
+  EdgeList el;
+  el.n = 100;
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::block(el.n, 2));
+    core::Params params;
+    params.nparts = 4;
+    const auto r = core::partition(comm, g, params);
+    EXPECT_TRUE(core::check_partition_consistent(comm, g, r.parts, 4));
+    const auto q = metrics::evaluate_dist(comm, g, r.parts, 4);
+    EXPECT_EQ(q.cut, 0);
+    EXPECT_LE(q.vertex_imbalance, 1.2);
+  });
+}
+
+TEST(Degenerate, StarGraphKeepsHubConstraintsSane) {
+  const EdgeList el = star(200);
+  sim::run_world(3, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::random(el.n, 3, 5));
+    core::Params params;
+    params.nparts = 4;
+    const auto r = core::partition(comm, g, params);
+    EXPECT_TRUE(core::check_partition_consistent(comm, g, r.parts, 4));
+    const auto q = metrics::evaluate_dist(comm, g, r.parts, 4);
+    // Leaves see only the hub's part, so balance relies entirely on
+    // the stall-escape path; allow extra slack on this degenerate
+    // topology (no partition of a star is good anyway).
+    EXPECT_LE(q.vertex_imbalance, 1.35);
+  });
+}
+
+TEST(Degenerate, CompleteGraphAnyPartitionCutsEverything) {
+  const EdgeList el = complete(24);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::block(el.n, 2));
+    core::Params params;
+    params.nparts = 4;
+    const auto r = core::partition(comm, g, params);
+    const auto q = metrics::evaluate_dist(comm, g, r.parts, 4);
+    // K24 into 4 balanced parts: internal = 4 * C(6,2) = 60 of 276.
+    EXPECT_NEAR(q.edge_cut_ratio, 216.0 / 276.0, 0.08);
+    EXPECT_LE(q.vertex_imbalance, 1.35);  // 7/6 with rounding
+  });
+}
+
+TEST(Degenerate, NPartsEqualsN) {
+  const EdgeList el = complete(8);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::block(el.n, 2));
+    core::Params params;
+    params.nparts = 8;
+    const auto r = core::partition(comm, g, params);
+    EXPECT_TRUE(core::check_partition_consistent(comm, g, r.parts, 8));
+  });
+}
+
+TEST(Degenerate, SingleVertexGraph) {
+  EdgeList el;
+  el.n = 1;
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(comm, el, VertexDist::block(1, 2));
+    core::Params params;
+    params.nparts = 1;
+    const auto r = core::partition(comm, g, params);
+    EXPECT_TRUE(core::check_partition_consistent(comm, g, r.parts, 1));
+  });
+}
+
+TEST(Degenerate, SerialPartitionersOnStarAndComplete) {
+  for (const EdgeList& el : {star(100), complete(20)}) {
+    const baseline::SerialGraph g = baseline::build_serial_graph(el);
+    for (const auto& parts :
+         {baseline::pulp_partition(g, 4), baseline::multilevel_partition(g, 4),
+          baseline::sclp_partition(g, 4)}) {
+      const auto q = metrics::evaluate(el, parts, 4);
+      EXPECT_LE(q.vertex_imbalance, 1.35);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analytics on degenerate graphs
+
+TEST(DegenerateAnalytics, EdgelessGraph) {
+  EdgeList el;
+  el.n = 40;
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::block(el.n, 2));
+    const auto pr = analytics::pagerank(comm, g, 5);
+    EXPECT_NEAR(pr.sum, 1.0, 1e-9);  // dangling mass redistributed
+    const auto cc = analytics::weakly_connected_components(comm, g);
+    EXPECT_EQ(cc.num_components, 40);
+    EXPECT_EQ(cc.largest_size, 1);
+    const auto kc = analytics::kcore_approx(comm, g, 5);
+    EXPECT_EQ(kc.max_core, 0);
+    const auto scc = analytics::largest_scc(comm, g);
+    EXPECT_LE(scc.scc_size, 1);
+  });
+}
+
+TEST(DegenerateAnalytics, SelfLoopOnlyGraphActsEdgeless) {
+  EdgeList el;
+  el.n = 10;
+  el.edges = {{3, 3}, {7, 7}};
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, VertexDist::block(el.n, 2));
+    EXPECT_EQ(g.m_global(), 0);
+    const auto cc = analytics::weakly_connected_components(comm, g);
+    EXPECT_EQ(cc.num_components, 10);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// I/O fuzzing
+
+TEST(IoFuzz, TruncatedBinaryThrows) {
+  const std::string path = ::testing::TempDir() + "/xtra_trunc.bin";
+  EdgeList el = star(10);
+  graph::write_edge_list_binary(path, el);
+  // Truncate mid-payload.
+  std::FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(0, truncate(path.c_str(), size - 8));
+  EXPECT_THROW(graph::read_edge_list_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IoFuzz, WrongMagicThrows) {
+  const std::string path = ::testing::TempDir() + "/xtra_magic.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTMAGIC________________", f);
+  std::fclose(f);
+  EXPECT_THROW(graph::read_edge_list_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IoFuzz, BinaryOutOfRangeVertexThrows) {
+  const std::string path = ::testing::TempDir() + "/xtra_oor.bin";
+  EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}};
+  graph::write_edge_list_binary(path, el);
+  // Patch the edge target to an out-of-range id.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -8, SEEK_END);
+  const std::uint64_t bogus = 99;
+  std::fwrite(&bogus, sizeof(bogus), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(graph::read_edge_list_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IoFuzz, EmptyEdgeListRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/xtra_empty.bin";
+  EdgeList el;
+  el.n = 7;
+  graph::write_edge_list_binary(path, el);
+  const EdgeList back = graph::read_edge_list_binary(path);
+  EXPECT_EQ(back.n, 7u);
+  EXPECT_TRUE(back.edges.empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Idempotence / determinism properties
+
+TEST(Idempotence, SpmvRunTwiceSameChecksum) {
+  const EdgeList el = gen::erdos_renyi(300, 6, 4);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto owners = spmv::owners_from_parts(
+        baseline::random_partition(el.n, 2, 1));
+    spmv::DistSpmv mv(comm, el, owners, spmv::Layout::kTwoD);
+    const auto a = mv.run(comm, 5);
+    const auto b = mv.run(comm, 5);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.comm_bytes, b.comm_bytes);
+  });
+}
+
+TEST(Idempotence, AnalyticsDeterministicAcrossRuns) {
+  const EdgeList el = gen::community_graph(800, 8, 0.6, 2.3, 6);
+  count_t first = -1;
+  for (int run = 0; run < 2; ++run) {
+    sim::run_world(3, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, VertexDist::random(el.n, 3, 2));
+      const auto lp = analytics::label_propagation(comm, g, 8);
+      if (comm.rank() == 0) {
+        if (first < 0)
+          first = lp.num_communities;
+        else
+          EXPECT_EQ(lp.num_communities, first);
+      }
+    });
+  }
+}
+
+TEST(Idempotence, BaselinePartitionersDeterministic) {
+  const EdgeList el = gen::rmat(10, 8, 3);
+  const baseline::SerialGraph g = baseline::build_serial_graph(el);
+  EXPECT_EQ(baseline::pulp_partition(g, 4), baseline::pulp_partition(g, 4));
+  EXPECT_EQ(baseline::multilevel_partition(g, 4),
+            baseline::multilevel_partition(g, 4));
+  EXPECT_EQ(baseline::sclp_partition(g, 4), baseline::sclp_partition(g, 4));
+}
+
+}  // namespace
+}  // namespace xtra

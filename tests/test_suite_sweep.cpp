@@ -1,0 +1,94 @@
+// Property sweep over the full Table I graph suite: for every suite
+// graph (small scale), the full pipeline must produce a valid,
+// consistent, constraint-respecting partition, and coarsening /
+// contraction identities must hold.
+#include <gtest/gtest.h>
+
+#include "baseline/partitioners.hpp"
+#include "core/state.hpp"
+#include "core/xtrapulp.hpp"
+#include "gen/suite.hpp"
+#include "graph/dist_graph.hpp"
+#include "metrics/quality.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra {
+namespace {
+
+class SuiteGraphs : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> all_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& e : gen::suite()) names.push_back(e.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SuiteGraphs,
+                         ::testing::ValuesIn(all_suite_names()),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST_P(SuiteGraphs, XtraPulpInvariantsHold) {
+  const graph::EdgeList el = gen::make_suite_graph(GetParam(), 0.08);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, graph::VertexDist::random(el.n, 2, 3));
+    core::Params params;
+    params.nparts = 8;
+    const auto r = core::partition(comm, g, params);
+    EXPECT_TRUE(core::check_partition_consistent(comm, g, r.parts, 8));
+    const auto q = metrics::evaluate_dist(comm, g, r.parts, 8);
+    // Vertex constraint with slack for the distributed estimates.
+    EXPECT_LE(q.vertex_imbalance, 1.0 + params.vert_imbalance + 0.15)
+        << GetParam();
+    EXPECT_LE(q.edge_cut_ratio, 1.0);
+    const auto sizes = core::compute_vertex_sizes(comm, g, r.parts, 8);
+    for (const count_t s : sizes) EXPECT_GE(s, 1);
+  });
+}
+
+TEST_P(SuiteGraphs, SerialPartitionersAgreeOnStructure) {
+  const graph::EdgeList el = gen::make_suite_graph(GetParam(), 0.05);
+  const baseline::SerialGraph g = baseline::build_serial_graph(el);
+  for (const auto& parts :
+       {baseline::pulp_partition(g, 4), baseline::multilevel_partition(g, 4)}) {
+    const auto q = metrics::evaluate(el, parts, 4);
+    EXPECT_LE(q.vertex_imbalance, 1.16) << GetParam();
+    // A structure-aware partitioner must beat random's (p-1)/p cut on
+    // every suite graph at p=4 (random cuts ~75%).
+    EXPECT_LT(q.edge_cut_ratio, 0.75) << GetParam();
+  }
+}
+
+TEST_P(SuiteGraphs, ContractionPreservesCut) {
+  // For any partition, contracting by the partition itself leaves the
+  // inter-part weight equal to the original cut.
+  const graph::EdgeList el = gen::make_suite_graph(GetParam(), 0.04);
+  const baseline::SerialGraph g = baseline::build_serial_graph(el);
+  const std::vector<part_t> parts = baseline::random_partition(el.n, 5, 9);
+  std::vector<gid_t> cmap(parts.begin(), parts.end());
+  const baseline::SerialGraph coarse = baseline::contract(g, cmap, 5);
+  count_t coarse_total = 0;
+  for (const count_t w : coarse.ewgt) coarse_total += w;
+  EXPECT_EQ(coarse_total / 2, baseline::weighted_cut(g, parts));
+  EXPECT_EQ(coarse.total_vwgt, g.total_vwgt);
+}
+
+TEST_P(SuiteGraphs, DistBuildMatchesSerialDegreeSum) {
+  const graph::EdgeList el = gen::make_suite_graph(GetParam(), 0.04);
+  const baseline::SerialGraph sg = baseline::build_serial_graph(el);
+  sim::run_world(3, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, graph::VertexDist::random(el.n, 3, 11));
+    EXPECT_EQ(g.m_global(), sg.m);
+    const count_t deg_sum = comm.allreduce_sum(g.local_degree_sum());
+    EXPECT_EQ(deg_sum, 2 * sg.m);
+  });
+}
+
+}  // namespace
+}  // namespace xtra
