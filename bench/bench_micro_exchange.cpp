@@ -3,7 +3,17 @@
 // refresh, and the per-iteration Allreduce. These are the routines
 // §III calls "highly optimized communication routines"; the micro
 // numbers make regressions in the runtime substrate visible.
+//
+// The bounded-exchange benchmarks sweep max_send_bytes across the
+// label-propagation exchange path and report per-iteration wire bytes
+// and collective counts from the aggregated CommStats; a final
+// COMM_STATS_JSON block emits the same numbers machine-readably so
+// future PRs can track comm-volume regressions.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
 
 #include "core/exchange.hpp"
 #include "gen/generators.hpp"
@@ -14,6 +24,26 @@
 using namespace xtra;
 
 namespace {
+
+/// One comm-volume measurement, keyed for the JSON report.
+struct CommRow {
+  std::string bench;
+  int nranks = 0;
+  count_t max_send_bytes = 0;
+  double bytes_per_iter = 0.0;        ///< wire bytes, summed over ranks
+  double collectives_per_iter = 0.0;  ///< collective invocations (world)
+  double phases_per_iter = 0.0;       ///< alltoallv rounds per exchange
+};
+
+std::map<std::string, CommRow>& comm_rows() {
+  static std::map<std::string, CommRow> rows;
+  return rows;
+}
+
+void record_row(const CommRow& row) {
+  comm_rows()[row.bench + "/" + std::to_string(row.nranks) + "/" +
+              std::to_string(row.max_send_bytes)] = row;
+}
 
 void BM_Alltoallv(benchmark::State& state) {
   const int nranks = static_cast<int>(state.range(0));
@@ -46,40 +76,119 @@ void BM_Allreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_Allreduce)->Args({4, 256})->Args({8, 256})->Args({8, 65536});
 
-void BM_ExchangeUpdates(benchmark::State& state) {
+/// The label-propagation exchange path with a persistent
+/// UpdateExchanger, swept over max_send_bytes (0 = unbounded). Each
+/// world runs kIters update supersteps over a reused engine — the
+/// steady state the partitioner's balance/refine iterations live in.
+void BM_ExchangeUpdatesBounded(benchmark::State& state) {
   const int nranks = static_cast<int>(state.range(0));
+  const auto bound = static_cast<count_t>(state.range(1));
+  constexpr int kIters = 8;
   const graph::EdgeList el = gen::erdos_renyi(20'000, 16, 3);
+  CommRow row{"exchange_updates", nranks, bound, 0, 0, 0};
   for (auto _ : state) {
     sim::run_world(nranks, [&](sim::Comm& comm) {
       const auto g = graph::build_dist_graph(
           comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      core::UpdateExchanger exchanger(bound);
       std::vector<part_t> parts(g.n_total(), 0);
       std::vector<lid_t> queue(g.n_local());
-      for (lid_t v = 0; v < g.n_local(); ++v) {
-        parts[v] = static_cast<part_t>(v % 8);
-        queue[v] = v;
+      for (lid_t v = 0; v < g.n_local(); ++v) queue[v] = v;
+      comm.barrier();
+      comm.reset_stats();
+      for (int it = 0; it < kIters; ++it) {
+        // Every owned vertex changes label each superstep: the densest
+        // traffic the balance phase can generate.
+        for (lid_t v = 0; v < g.n_local(); ++v)
+          parts[v] = static_cast<part_t>((v + static_cast<lid_t>(it)) % 8);
+        exchanger.run(comm, g, parts, queue);
       }
-      core::exchange_updates(comm, g, parts, queue);
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / kIters;
+        row.phases_per_iter =
+            static_cast<double>(exchanger.stats().phases) /
+            static_cast<double>(exchanger.stats().exchanges);
+      }
     });
   }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  state.counters["phases/exch"] = row.phases_per_iter;
+  record_row(row);
 }
-BENCHMARK(BM_ExchangeUpdates)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ExchangeUpdatesBounded)
+    ->Args({4, 0})
+    ->Args({4, 1 << 12})
+    ->Args({4, 1 << 16})
+    ->Args({4, 1 << 20})
+    ->Args({8, 0})
+    ->Args({8, 1 << 16});
 
-void BM_HaloExchange(benchmark::State& state) {
+void BM_HaloExchangeBounded(benchmark::State& state) {
   const int nranks = static_cast<int>(state.range(0));
+  const auto bound = static_cast<count_t>(state.range(1));
+  constexpr int kIters = 10;
   const graph::EdgeList el = gen::erdos_renyi(20'000, 16, 3);
+  CommRow row{"halo_exchange", nranks, bound, 0, 0, 0};
   for (auto _ : state) {
     sim::run_world(nranks, [&](sim::Comm& comm) {
       const auto g = graph::build_dist_graph(
           comm, el, graph::VertexDist::random(el.n, nranks, 3));
-      const graph::HaloPlan halo(comm, g);
+      graph::HaloPlan halo(comm, g);
+      halo.set_max_send_bytes(bound);
+      // Meter only the replayed exchanges, not the one-time (and
+      // always unbounded) registration the constructor performed.
+      halo.reset_stats();
       std::vector<double> vals(g.n_total(), 1.0);
-      for (int i = 0; i < 10; ++i) halo.exchange(comm, vals);
+      comm.barrier();
+      comm.reset_stats();
+      for (int i = 0; i < kIters; ++i) halo.exchange(comm, vals);
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / kIters;
+        row.phases_per_iter = static_cast<double>(halo.stats().phases) /
+                              static_cast<double>(halo.stats().exchanges);
+      }
     });
   }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  state.counters["phases/exch"] = row.phases_per_iter;
+  record_row(row);
 }
-BENCHMARK(BM_HaloExchange)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_HaloExchangeBounded)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({4, 1 << 14})
+    ->Args({8, 0});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Machine-readable comm-volume report (one object per swept config)
+  // for cross-PR regression tracking.
+  std::printf("\nCOMM_STATS_JSON [\n");
+  bool first = true;
+  for (const auto& [key, r] : comm_rows()) {
+    std::printf(
+        "%s  {\"bench\": \"%s\", \"nranks\": %d, \"max_send_bytes\": %lld, "
+        "\"bytes_per_iter\": %.1f, \"collectives_per_iter\": %.2f, "
+        "\"phases_per_exchange\": %.2f}",
+        first ? "" : ",\n", r.bench.c_str(), r.nranks,
+        static_cast<long long>(r.max_send_bytes), r.bytes_per_iter,
+        r.collectives_per_iter, r.phases_per_iter);
+    first = false;
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -2,9 +2,10 @@
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
 #include "graph/halo.hpp"
 #include "util/flat_map.hpp"
-#include "util/prefix_sum.hpp"
 
 namespace xtra::analytics {
 
@@ -12,7 +13,7 @@ CommunityResult label_propagation(sim::Comm& comm,
                                   const graph::DistGraph& g, int sweeps) {
   CommunityResult result;
   detail::Meter meter(comm, result.info);
-  const graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g);
 
   result.label.resize(g.n_total());
   for (lid_t v = 0; v < g.n_total(); ++v) result.label[v] = g.gid_of(v);
@@ -59,17 +60,14 @@ CommunityResult label_propagation(sim::Comm& comm,
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
                  distinct.end());
-  const int nranks = comm.size();
-  std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
-  for (const gid_t l : distinct)
-    ++counts[static_cast<std::size_t>(g.owner_of_gid(l))];
-  std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-  std::vector<gid_t> send(distinct.size());
-  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (const gid_t l : distinct)
-    send[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(g.owner_of_gid(l))]++)] = l;
-  std::vector<gid_t> recv = comm.alltoallv(send, counts);
+  comm::DestBuckets<gid_t> buckets;
+  buckets.build(
+      comm.size(), distinct,
+      [&g](const gid_t l) { return g.owner_of_gid(l); },
+      [](const gid_t l) { return l; });
+  comm::Exchanger ex;
+  const std::span<const gid_t> arrivals = ex.exchange(comm, buckets);
+  std::vector<gid_t> recv(arrivals.begin(), arrivals.end());
   std::sort(recv.begin(), recv.end());
   recv.erase(std::unique(recv.begin(), recv.end()), recv.end());
   result.num_communities =

@@ -2,8 +2,9 @@
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
 #include "graph/halo.hpp"
-#include "util/prefix_sum.hpp"
 
 namespace xtra::analytics {
 
@@ -11,7 +12,7 @@ ComponentsResult weakly_connected_components(sim::Comm& comm,
                                              const graph::DistGraph& g) {
   ComponentsResult result;
   detail::Meter meter(comm, result.info);
-  const graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g);
 
   result.component.resize(g.n_total());
   for (lid_t v = 0; v < g.n_total(); ++v) result.component[v] = g.gid_of(v);
@@ -57,17 +58,14 @@ ComponentsResult weakly_connected_components(sim::Comm& comm,
       i = j;
     }
   }
-  const int nranks = comm.size();
-  std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
-  for (const RootCount& rc : local)
-    ++counts[static_cast<std::size_t>(g.owner_of_gid(rc.root))];
-  std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-  std::vector<RootCount> send(local.size());
-  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (const RootCount& rc : local)
-    send[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(g.owner_of_gid(rc.root))]++)] = rc;
-  std::vector<RootCount> recv = comm.alltoallv(send, counts);
+  comm::DestBuckets<RootCount> buckets;
+  buckets.build(
+      comm.size(), local,
+      [&g](const RootCount& rc) { return g.owner_of_gid(rc.root); },
+      [](const RootCount& rc) { return rc; });
+  comm::Exchanger ex;
+  const std::span<const RootCount> arrivals = ex.exchange(comm, buckets);
+  std::vector<RootCount> recv(arrivals.begin(), arrivals.end());
   std::sort(recv.begin(), recv.end(),
             [](const RootCount& a, const RootCount& b) {
               return a.root < b.root;

@@ -27,7 +27,7 @@ KCoreResult kcore_approx(sim::Comm& comm, const graph::DistGraph& g,
                          int rounds) {
   KCoreResult result;
   detail::Meter meter(comm, result.info);
-  const graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g);
 
   // Coreness upper bound: the degree. Repeated neighborhood h-index
   // contraction converges to the exact coreness (Lü et al. 2016).

@@ -8,7 +8,7 @@ PageRankResult pagerank(sim::Comm& comm, const graph::DistGraph& g,
                         int iters, double damping) {
   PageRankResult result;
   detail::Meter meter(comm, result.info);
-  const graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g);
 
   const double n = static_cast<double>(g.n_global());
   std::vector<double> contrib(g.n_total(), 0.0);

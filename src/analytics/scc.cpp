@@ -2,16 +2,19 @@
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
 #include "graph/halo.hpp"
-#include "util/prefix_sum.hpp"
 
 namespace xtra::analytics {
 
 namespace {
 
 /// BFS over the active subgraph, following out- or in-edges. Marks
-/// reached owned+ghost vertices in `reached`. Collective.
-void masked_bfs(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
+/// reached owned+ghost vertices in `reached`. Collective. The caller's
+/// exchanger is reused across levels (and both sweeps).
+void masked_bfs(sim::Comm& comm, comm::Exchanger& ex,
+                const graph::DistGraph& g, gid_t root,
                 const std::vector<std::uint8_t>& active, bool use_in_edges,
                 std::vector<std::uint8_t>& reached, count_t& supersteps) {
   const int nranks = comm.size();
@@ -25,10 +28,12 @@ void masked_bfs(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
       frontier.push_back(l);
     }
   }
+  comm::DestBuckets<gid_t> buckets;
+  std::vector<gid_t> notify;
   while (comm.allreduce_or(!frontier.empty())) {
     std::vector<lid_t> next;
-    std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
-    std::vector<gid_t> notify;
+    buckets.begin(nranks);
+    notify.clear();
     for (const lid_t v : frontier) {
       const auto nbrs = use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
       for (const lid_t u : nbrs) {
@@ -38,17 +43,13 @@ void masked_bfs(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
           next.push_back(u);
         } else {
           notify.push_back(g.gid_of(u));
-          ++counts[static_cast<std::size_t>(g.owner_of(u))];
+          buckets.count(g.owner_of(u));
         }
       }
     }
-    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-    std::vector<gid_t> send(notify.size());
-    std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (const gid_t gid : notify)
-      send[static_cast<std::size_t>(
-          cursor[static_cast<std::size_t>(g.owner_of_gid(gid))]++)] = gid;
-    const std::vector<gid_t> arrivals = comm.alltoallv(send, counts);
+    buckets.commit();
+    for (const gid_t gid : notify) buckets.push(g.owner_of_gid(gid), gid);
+    const std::span<const gid_t> arrivals = ex.exchange(comm, buckets);
     for (const gid_t gid : arrivals) {
       const lid_t l = g.lid_of(gid);
       XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
@@ -67,7 +68,7 @@ void masked_bfs(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
 SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g) {
   SccResult result;
   detail::Meter meter(comm, result.info);
-  const graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g);
 
   // --- Trim: vertices with no active in- or out-neighbor are
   // singleton SCCs; peel them iteratively (MultiStep stage 1).
@@ -112,9 +113,10 @@ SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g) {
   // --- Forward/backward reachability from the pivot; the SCC is the
   // intersection (MultiStep stage 2).
   std::vector<std::uint8_t> fw, bw;
-  masked_bfs(comm, g, pivot, active, /*use_in_edges=*/false, fw,
+  comm::Exchanger ex;
+  masked_bfs(comm, ex, g, pivot, active, /*use_in_edges=*/false, fw,
              result.info.supersteps);
-  masked_bfs(comm, g, pivot, active, /*use_in_edges=*/true, bw,
+  masked_bfs(comm, ex, g, pivot, active, /*use_in_edges=*/true, bw,
              result.info.supersteps);
 
   result.in_scc.assign(g.n_total(), 0);

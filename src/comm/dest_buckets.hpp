@@ -1,0 +1,117 @@
+// DestBuckets — the two-pass stamp/count/prefix-sum/fill bucketing
+// engine behind every point-to-point exchange (Algorithm 3's send-side
+// structure, generalized from the partitioner's ExchangeUpdates).
+//
+// Builds an alltoallv-ready send buffer: records destined for rank r
+// laid out contiguously, in destination-rank order. All scratch —
+// per-destination counts, prefix-summed offsets, fill cursors, the
+// toSend stamp mask, and the record buffer itself — is owned by the
+// object and reused across calls, so steady-state use (one exchange per
+// label-propagation iteration) allocates nothing.
+//
+// Protocol per exchange:
+//   begin(nranks);
+//   pass 1: count(dest) / count_once(dest, key) per record;
+//   commit();
+//   pass 2 (same traversal order): push(dest, rec) / push_once(...);
+// then hand records()/counts() to an Exchanger.
+//
+// count_once/push_once implement the paper's toSend mask: for a given
+// key (e.g. the queue index of the vertex being broadcast) at most one
+// record per destination is admitted; the mask is "cleared" in O(1) by
+// stamping with the key instead of re-zeroing. Keys must be distinct
+// per logical item and != ~std::size_t(0).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace xtra::comm {
+
+template <typename T>
+class DestBuckets {
+ public:
+  /// Start a new exchange: zero the counts, clear the stamp mask.
+  void begin(int nranks) {
+    counts_.assign(static_cast<std::size_t>(nranks), 0);
+    stamp_.assign(static_cast<std::size_t>(nranks), kNoStamp);
+  }
+
+  void count(int dest) { ++counts_[static_cast<std::size_t>(dest)]; }
+
+  /// Count at most once per (dest, key); returns whether it counted.
+  bool count_once(int dest, std::size_t key) {
+    const auto d = static_cast<std::size_t>(dest);
+    if (stamp_[d] == key) return false;
+    stamp_[d] = key;
+    ++counts_[d];
+    return true;
+  }
+
+  /// Finish the count pass: prefix-sum the offsets, size the record
+  /// buffer, rewind the cursors and the stamp mask for the fill pass.
+  void commit() {
+    offsets_.resize(counts_.size() + 1);
+    count_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      offsets_[i] = running;
+      running += counts_[i];
+    }
+    offsets_[counts_.size()] = running;
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+    std::fill(stamp_.begin(), stamp_.end(), kNoStamp);
+    buf_.resize(static_cast<std::size_t>(running));
+  }
+
+  /// Place a record; returns the slot it landed in, so callers keeping
+  /// side arrays (e.g. "which ghost lid issued this query") can index
+  /// them by the same slot.
+  count_t push(int dest, const T& rec) {
+    const auto d = static_cast<std::size_t>(dest);
+    const count_t slot = cursor_[d]++;
+    XTRA_DEBUG_ASSERT(slot < offsets_[d + 1]);
+    buf_[static_cast<std::size_t>(slot)] = rec;
+    return slot;
+  }
+
+  /// Place at most once per (dest, key); must mirror the count pass.
+  bool push_once(int dest, std::size_t key, const T& rec) {
+    const auto d = static_cast<std::size_t>(dest);
+    if (stamp_[d] == key) return false;
+    stamp_[d] = key;
+    push(dest, rec);
+    return true;
+  }
+
+  /// The grouped send buffer (valid once every record is pushed).
+  const std::vector<T>& records() const { return buf_; }
+  /// Per-destination record counts (valid after commit()).
+  const std::vector<count_t>& counts() const { return counts_; }
+  count_t total() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  /// Convenience for the common one-record-per-item shape: two passes
+  /// over `items` with dest_of(item) -> rank and make(item) -> record.
+  template <typename Range, typename DestFn, typename MakeFn>
+  void build(int nranks, const Range& items, DestFn&& dest_of,
+             MakeFn&& make) {
+    begin(nranks);
+    for (const auto& item : items) count(dest_of(item));
+    commit();
+    for (const auto& item : items) push(dest_of(item), make(item));
+  }
+
+ private:
+  static constexpr std::size_t kNoStamp = ~std::size_t(0);
+
+  std::vector<count_t> counts_;   ///< records per destination
+  std::vector<count_t> offsets_;  ///< exclusive prefix sums of counts
+  std::vector<count_t> cursor_;   ///< next free slot per destination
+  std::vector<std::size_t> stamp_;///< toSend mask, keyed not cleared
+  std::vector<T> buf_;            ///< grouped records
+};
+
+}  // namespace xtra::comm

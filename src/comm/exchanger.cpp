@@ -1,0 +1,114 @@
+#include "comm/exchanger.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace xtra::comm {
+
+void Exchanger::exchange_bytes(sim::Comm& comm, const std::byte* send,
+                               std::size_t elem,
+                               const std::vector<count_t>& counts) {
+  Timer t;
+  const int nranks = comm.size();
+  const int me = comm.rank();
+  XTRA_ASSERT(counts.size() == static_cast<std::size_t>(nranks));
+
+  count_t total = 0;
+  for (const count_t c : counts) total += c;
+
+  ++stats_.exchanges;
+  stats_.records_sent += total;
+  for (int r = 0; r < nranks; ++r)
+    if (r != me)
+      stats_.bytes_sent +=
+          counts[static_cast<std::size_t>(r)] * static_cast<count_t>(elem);
+
+  // Agree on a global phase count. Unbounded mode skips the allreduce:
+  // all ranks constructed with max_send_bytes == 0 know the answer.
+  count_t nphases = 1;
+  count_t max_records = total;
+  if (max_send_bytes_ > 0) {
+    max_records =
+        std::max<count_t>(1, max_send_bytes_ / static_cast<count_t>(elem));
+    const count_t local_phases =
+        total == 0 ? 1 : (total + max_records - 1) / max_records;
+    nphases = comm.allreduce_max(local_phases);
+  }
+
+  if (nphases == 1) {
+    recv_total_ = comm.alltoallv_bytes(send, elem, counts, recv_bytes_,
+                                       &rcounts_);
+    ++stats_.phases;
+    stats_.seconds += t.seconds();
+    return;
+  }
+
+  // Phased mode. The send buffer is grouped by destination, so slicing
+  // it into [lo, hi) record windows keeps each window's per-destination
+  // runs contiguous and in destination order — each slice is itself a
+  // valid alltoallv send buffer.
+  send_offsets_.resize(counts.size() + 1);
+  count_t running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    send_offsets_[i] = running;
+    running += counts[i];
+  }
+  send_offsets_[counts.size()] = running;
+
+  // Learn the final per-source totals up front (one small alltoall),
+  // so every phase's arrivals land directly in their final position:
+  // the receive side peaks at the payload size, never double-buffers.
+  rcounts_ = comm.alltoall(counts);
+  recv_total_ = 0;
+  cursor_.resize(static_cast<std::size_t>(nranks));
+  for (int s = 0; s < nranks; ++s) {
+    cursor_[static_cast<std::size_t>(s)] = recv_total_;
+    recv_total_ += rcounts_[static_cast<std::size_t>(s)];
+  }
+  recv_bytes_.resize(static_cast<std::size_t>(recv_total_) * elem);
+
+  // Arrivals from source s across phases, concatenated in phase order,
+  // are exactly s's single-alltoallv segment (each phase window
+  // preserves the within-destination record order).
+  phase_counts_.resize(static_cast<std::size_t>(nranks));
+  for (count_t p = 0; p < nphases; ++p) {
+    const count_t lo = std::min(p * max_records, total);
+    const count_t hi = std::min(lo + max_records, total);
+    for (int r = 0; r < nranks; ++r) {
+      const count_t a = std::max(lo, send_offsets_[static_cast<std::size_t>(r)]);
+      const count_t b =
+          std::min(hi, send_offsets_[static_cast<std::size_t>(r) + 1]);
+      phase_counts_[static_cast<std::size_t>(r)] = std::max<count_t>(0, b - a);
+    }
+    (void)comm.alltoallv_bytes(send + static_cast<std::size_t>(lo) * elem,
+                               elem, phase_counts_, phase_bytes_,
+                               &phase_rcounts_);
+    std::size_t pos = 0;
+    for (int s = 0; s < nranks; ++s) {
+      const count_t c = phase_rcounts_[static_cast<std::size_t>(s)];
+      if (c == 0) continue;
+      const std::size_t len = static_cast<std::size_t>(c) * elem;
+      std::memcpy(recv_bytes_.data() +
+                      static_cast<std::size_t>(
+                          cursor_[static_cast<std::size_t>(s)]) *
+                          elem,
+                  phase_bytes_.data() + pos, len);
+      cursor_[static_cast<std::size_t>(s)] += c;
+      pos += len;
+    }
+    ++stats_.phases;
+  }
+#ifndef NDEBUG
+  // Every cursor must have advanced to the next source's start.
+  for (int s = 0; s + 1 < nranks; ++s)
+    XTRA_DEBUG_ASSERT(cursor_[static_cast<std::size_t>(s)] ==
+                      cursor_[static_cast<std::size_t>(s + 1)] -
+                          rcounts_[static_cast<std::size_t>(s + 1)]);
+#endif
+  stats_.seconds += t.seconds();
+}
+
+}  // namespace xtra::comm

@@ -1,0 +1,117 @@
+// Exchanger — persistent, memory-bounded wrapper over
+// sim::Comm::alltoallv.
+//
+// The paper reaches trillion-edge scale because its ghost-update
+// exchange is memory-bounded: send buffers are built once per phase,
+// capped in size, and communicated in chunks rather than one unbounded
+// Alltoallv. An Exchanger reproduces that contract: with
+// max_send_bytes == 0 it issues a single alltoallv; with a positive
+// bound it splits the (destination-grouped) send buffer into phases of
+// at most max_send_bytes each — chunk boundaries fall inside
+// per-destination runs, and the receive side reassembles arrivals by
+// source rank, so the result is bit-identical to the single alltoallv
+// for any bound.
+//
+// The object owns all wire-side scratch (receive bytes, per-phase
+// counts, reassembly cursors) and reuses it across calls, so a
+// persistent Exchanger makes the per-iteration exchange of
+// label-propagation allocation-free on the send path. It also
+// aggregates ExchangeStats across calls for bench reporting.
+//
+// exchange() is collective (bounded mode agrees on a global phase
+// count with one allreduce); every rank must call it with the same
+// max_send_bytes. Returned spans alias the receive scratch and are
+// valid until the next exchange() on the same object.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "comm/dest_buckets.hpp"
+#include "mpisim/comm.hpp"
+#include "util/types.hpp"
+
+namespace xtra::comm {
+
+/// Aggregated accounting over every exchange() on one Exchanger.
+struct ExchangeStats {
+  count_t exchanges = 0;     ///< logical exchange() calls
+  count_t phases = 0;        ///< alltoallv rounds issued (>= exchanges)
+  count_t records_sent = 0;  ///< records staged, incl. self-destined
+  count_t bytes_sent = 0;    ///< wire bytes (self-destined data is free)
+  double seconds = 0.0;      ///< wall time inside exchange()
+};
+
+class Exchanger {
+ public:
+  /// max_send_bytes == 0 means unbounded (one alltoallv per exchange);
+  /// a positive bound caps each phase's send payload (always admitting
+  /// at least one record per phase). Same value required on all ranks.
+  explicit Exchanger(count_t max_send_bytes = 0)
+      : max_send_bytes_(max_send_bytes) {}
+
+  count_t max_send_bytes() const { return max_send_bytes_; }
+  void set_max_send_bytes(count_t bytes) { max_send_bytes_ = bytes; }
+
+  /// Exchange `counts[r]` records per destination rank r, laid out
+  /// contiguously in destination order starting at `send`. Returns the
+  /// concatenated arrivals grouped by source rank (alltoallv
+  /// semantics, regardless of phasing).
+  template <typename T>
+  std::span<const T> exchange(sim::Comm& comm, const T* send,
+                              const std::vector<count_t>& counts,
+                              std::vector<count_t>* recvcounts_out = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "wire records must be trivially copyable");
+    exchange_bytes(comm, reinterpret_cast<const std::byte*>(send), sizeof(T),
+                   counts);
+    if (recvcounts_out) *recvcounts_out = rcounts_;
+    return {reinterpret_cast<const T*>(recv_bytes_.data()),
+            static_cast<std::size_t>(recv_total_)};
+  }
+
+  template <typename T>
+  std::span<const T> exchange(sim::Comm& comm, const std::vector<T>& send,
+                              const std::vector<count_t>& counts,
+                              std::vector<count_t>* recvcounts_out = nullptr) {
+    return exchange(comm, send.data(), counts, recvcounts_out);
+  }
+
+  /// Exchange a DestBuckets' staged records.
+  template <typename T>
+  std::span<const T> exchange(sim::Comm& comm, const DestBuckets<T>& buckets,
+                              std::vector<count_t>* recvcounts_out = nullptr) {
+    return exchange(comm, buckets.records().data(), buckets.counts(),
+                    recvcounts_out);
+  }
+
+  const ExchangeStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ExchangeStats{}; }
+
+ private:
+  /// Untyped core: runs the (possibly phased) exchange, leaving the
+  /// result in recv_bytes_/recv_total_/rcounts_.
+  void exchange_bytes(sim::Comm& comm, const std::byte* send,
+                      std::size_t elem, const std::vector<count_t>& counts);
+
+  count_t max_send_bytes_ = 0;
+  ExchangeStats stats_;
+
+  // Wire-side scratch, reused across calls.
+  std::vector<std::byte> recv_bytes_;   ///< final grouped-by-source result
+  count_t recv_total_ = 0;              ///< elements in recv_bytes_
+  std::vector<count_t> rcounts_;        ///< per-source element counts
+
+  // Phased-mode scratch. The receive side never double-buffers: final
+  // per-source totals are exchanged up front (one small alltoall) and
+  // each phase's arrivals are scattered straight into recv_bytes_.
+  std::vector<count_t> send_offsets_;   ///< prefix sums of send counts
+  std::vector<count_t> phase_counts_;   ///< per-dest counts, one phase
+  std::vector<count_t> phase_rcounts_;  ///< per-source counts, one phase
+  std::vector<std::byte> phase_bytes_;  ///< one phase's arrivals
+  std::vector<count_t> cursor_;         ///< reassembly write positions
+};
+
+}  // namespace xtra::comm

@@ -1,0 +1,29 @@
+// Type-erased reusable staging arena for templated exchange paths
+// (e.g. HaloPlan::exchange<T> is instantiated with several T but each
+// plan must own one persistent send buffer).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace xtra::comm {
+
+/// Hands out a T-typed staging area backed by one byte vector, so
+/// repeated requests of the same (or smaller) size never reallocate.
+/// One live type at a time; contents are invalidated by the next as<>().
+class ScratchBuffer {
+ public:
+  template <typename T>
+  T* as(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "scratch staging requires trivially copyable records");
+    bytes_.resize(n * sizeof(T));
+    return reinterpret_cast<T*>(bytes_.data());
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace xtra::comm

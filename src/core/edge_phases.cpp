@@ -126,7 +126,7 @@ void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
             ratio_weight(static_cast<double>(max_c), st.est_c(best));
       }
     }
-    exchange_updates(comm, g, parts, queue);
+    st.exchanger.run(comm, g, parts, queue);
     fold_changes(comm, st);
     refresh_cut_sizes(comm, g, parts, st);
     ++st.iter_tot;
@@ -190,7 +190,7 @@ void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
         queue.push_back(v);
       }
     }
-    exchange_updates(comm, g, parts, queue);
+    st.exchanger.run(comm, g, parts, queue);
     fold_changes(comm, st);
     refresh_cut_sizes(comm, g, parts, st);
     ++st.iter_tot;

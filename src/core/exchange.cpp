@@ -1,41 +1,29 @@
 #include "core/exchange.hpp"
 
 #include "util/assert.hpp"
-#include "util/prefix_sum.hpp"
 
 namespace xtra::core {
 
-void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
-                      std::vector<part_t>& parts,
-                      const std::vector<lid_t>& queue) {
-  const int nranks = comm.size();
+void UpdateExchanger::run(sim::Comm& comm, const graph::DistGraph& g,
+                          std::vector<part_t>& parts,
+                          const std::vector<lid_t>& queue) {
   const int me = comm.rank();
 
-  // Pass 1 (Alg 3): count records per destination. The `stamp` array is
-  // the toSend mask, reused across vertices by stamping with the queue
-  // index instead of clearing.
-  std::vector<count_t> send_counts(static_cast<std::size_t>(nranks), 0);
-  std::vector<std::size_t> stamp(static_cast<std::size_t>(nranks),
-                                 ~std::size_t(0));
+  // Pass 1 (Alg 3): count records per destination, at most one per
+  // (queued vertex, destination) — the stamp key is the queue index.
+  buckets_.begin(comm.size());
   for (std::size_t qi = 0; qi < queue.size(); ++qi) {
     const lid_t v = queue[qi];
     XTRA_DEBUG_ASSERT(g.is_owned(v));
     for (const lid_t u : g.neighbors(v)) {
       const int task = g.owner_of(u);
       if (task == me) continue;
-      if (stamp[static_cast<std::size_t>(task)] != qi) {
-        stamp[static_cast<std::size_t>(task)] = qi;
-        ++send_counts[static_cast<std::size_t>(task)];
-      }
+      buckets_.count_once(task, qi);
     }
   }
+  buckets_.commit();
 
   // Pass 2: fill the send buffer at prefix-summed offsets.
-  std::vector<count_t> offsets = exclusive_prefix_sum(send_counts);
-  std::vector<PartUpdate> send_buffer(
-      static_cast<std::size_t>(offsets.back()));
-  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-  std::fill(stamp.begin(), stamp.end(), ~std::size_t(0));
   for (std::size_t qi = 0; qi < queue.size(); ++qi) {
     const lid_t v = queue[qi];
     const gid_t gid = g.gid_of(v);
@@ -43,15 +31,11 @@ void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
     for (const lid_t u : g.neighbors(v)) {
       const int task = g.owner_of(u);
       if (task == me) continue;
-      if (stamp[static_cast<std::size_t>(task)] != qi) {
-        stamp[static_cast<std::size_t>(task)] = qi;
-        send_buffer[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(task)]++)] = {gid, part};
-      }
+      buckets_.push_once(task, qi, {gid, part});
     }
   }
 
-  const std::vector<PartUpdate> recv = comm.alltoallv(send_buffer, send_counts);
+  const std::span<const PartUpdate> recv = ex_.exchange(comm, buckets_);
 
   // Apply to ghosts. A received gid must be a ghost here: the sender
   // saw one of our owned vertices in its neighborhood, so we see theirs.
@@ -61,6 +45,13 @@ void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
                     "part update for a vertex that is not a local ghost");
     parts[l] = rec.part;
   }
+}
+
+void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
+                      std::vector<part_t>& parts,
+                      const std::vector<lid_t>& queue) {
+  UpdateExchanger scratch;
+  scratch.run(comm, g, parts, queue);
 }
 
 }  // namespace xtra::core

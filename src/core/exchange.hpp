@@ -3,14 +3,19 @@
 //
 // Each rank queues owned vertices whose part label changed this
 // superstep. For every queued vertex we send (gid, new_part) to each
-// *distinct* rank appearing in its neighborhood (a boolean toSend mask
-// avoids redundant copies, per the paper), then apply the incoming
-// records to our ghost labels. Two passes over the queue (count, fill)
-// around prefix-summed offsets mirror Algorithm 3 exactly.
+// *distinct* rank appearing in its neighborhood (the comm layer's
+// stamp mask is the paper's toSend mask), then apply the incoming
+// records to our ghost labels. The two passes over the queue around
+// prefix-summed offsets mirror Algorithm 3 exactly — they live in
+// comm::DestBuckets; the wire trip (optionally phased under a
+// max_send_bytes budget, per the paper's memory-bounded multi-phase
+// communication) lives in comm::Exchanger.
 #pragma once
 
 #include <vector>
 
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
 #include "util/types.hpp"
@@ -23,9 +28,33 @@ struct PartUpdate {
   part_t part;
 };
 
-/// Collective. `queue` holds owned local ids whose entry in `parts`
-/// changed; on return the ghost entries of `parts` reflect all peers'
-/// updates. Safe to call with empty queues (still collective).
+/// Persistent ExchangeUpdates engine: owns the bucketing scratch and
+/// the (possibly phased) exchanger, so calling run() once per
+/// label-propagation iteration reallocates nothing. PhaseState holds
+/// one so every balance/refine iteration reuses the same buffers.
+class UpdateExchanger {
+ public:
+  /// max_send_bytes == 0: unbounded single alltoallv per exchange.
+  explicit UpdateExchanger(count_t max_send_bytes = 0)
+      : ex_(max_send_bytes) {}
+
+  /// Collective. `queue` holds owned local ids whose entry in `parts`
+  /// changed; on return the ghost entries of `parts` reflect all
+  /// peers' updates. Safe to call with empty queues (still collective).
+  void run(sim::Comm& comm, const graph::DistGraph& g,
+           std::vector<part_t>& parts, const std::vector<lid_t>& queue);
+
+  void set_max_send_bytes(count_t bytes) { ex_.set_max_send_bytes(bytes); }
+  const comm::ExchangeStats& stats() const { return ex_.stats(); }
+  void reset_stats() { ex_.reset_stats(); }
+
+ private:
+  comm::DestBuckets<PartUpdate> buckets_;
+  comm::Exchanger ex_;
+};
+
+/// One-shot convenience wrapper (init paths, tests): builds a scratch
+/// UpdateExchanger per call. Hot loops should hold a persistent one.
 void exchange_updates(sim::Comm& comm, const graph::DistGraph& g,
                       std::vector<part_t>& parts,
                       const std::vector<lid_t>& queue);

@@ -55,7 +55,10 @@ std::vector<part_t> init_bfs_growing(sim::Comm& comm,
       }
     }
   }
-  exchange_updates(comm, g, parts, queue);
+  // Growth loops every superstep; keep one exchanger so its buffers
+  // are reused across iterations (and honor the configured cap).
+  UpdateExchanger exchanger(params.max_exchange_bytes);
+  exchanger.run(comm, g, parts, queue);
 
   Rng rng(params.seed, 0xB0075 + static_cast<std::uint64_t>(comm.rank()));
   std::vector<part_t> seen;  // distinct assigned parts in the neighborhood
@@ -94,7 +97,7 @@ std::vector<part_t> init_bfs_growing(sim::Comm& comm,
       queue.push_back(v);
       ++updates;
     }
-    exchange_updates(comm, g, parts, queue);
+    exchanger.run(comm, g, parts, queue);
     global_updates = comm.allreduce_sum(updates);
   }
 
@@ -106,7 +109,7 @@ std::vector<part_t> init_bfs_growing(sim::Comm& comm,
       queue.push_back(v);
     }
   }
-  exchange_updates(comm, g, parts, queue);
+  exchanger.run(comm, g, parts, queue);
   return parts;
 }
 

@@ -45,6 +45,12 @@ struct Params {
   /// neighborhood (paper's choice) instead of the max-count label.
   bool init_random_among_assigned = true;
 
+  /// Per-phase send-buffer cap for the ghost-update exchange, in bytes
+  /// (0 = unbounded single Alltoallv). A positive value reproduces the
+  /// paper's memory-bounded multi-phase communication; results are
+  /// bit-identical for any value.
+  count_t max_exchange_bytes = 0;
+
   std::uint64_t seed = 1;
 };
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/exchange.hpp"
 #include "core/params.hpp"
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
@@ -29,6 +30,11 @@ struct PhaseState {
 
   std::vector<count_t> size_v, size_e, size_c;      ///< Sv, Se, Sc
   std::vector<count_t> change_v, change_e, change_c;///< Cv, Ce, Cc (local)
+
+  /// Persistent ExchangeUpdates engine: bucketing scratch and the
+  /// (optionally memory-bounded) exchanger survive across every
+  /// balance/refine iteration instead of being rebuilt per call.
+  UpdateExchanger exchanger;
 
   /// mult <- nprocs * ((X - Y) * itertot/Itot + Y), §III-C.
   double mult() const {

@@ -107,7 +107,7 @@ void vert_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
         }
       }
     }
-    exchange_updates(comm, g, parts, queue);
+    st.exchanger.run(comm, g, parts, queue);
     fold_changes(comm, st);
     ++st.iter_tot;
   }
@@ -155,7 +155,7 @@ void vert_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
         queue.push_back(v);
       }
     }
-    exchange_updates(comm, g, parts, queue);
+    st.exchanger.run(comm, g, parts, queue);
     fold_changes(comm, st);
     ++st.iter_tot;
   }

@@ -3,12 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <algorithm>
+#include <cstdint>
+
+#include "comm/query_reply.hpp"
 #include "core/exchange.hpp"
 #include "core/init.hpp"
 #include "core/phases.hpp"
 #include "core/state.hpp"
+#include "graph/halo.hpp"
 #include "util/assert.hpp"
-#include "util/prefix_sum.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::core {
@@ -46,6 +50,7 @@ PartitionResult partition(sim::Comm& comm, const graph::DistGraph& g,
   PhaseState st;
   st.nparts = params.nparts;
   st.nprocs = comm.size();
+  st.exchanger.set_max_send_bytes(params.max_exchange_bytes);
   st.x = params.mult_x;
   st.y = params.mult_y;
   st.i_tot = std::max(params.outer_iters *
@@ -120,43 +125,45 @@ bool check_partition_consistent(sim::Comm& comm, const graph::DistGraph& g,
     for (lid_t v = 0; v < g.n_total(); ++v)
       if (parts[v] < 0 || parts[v] >= nparts) ok = false;
   }
-  // Ghost consistency: ask each owner for its current label and compare.
+  // Routing pre-check: every ghost gid must resolve to an owned vertex
+  // on its claimed owner. The HaloPlan constructor asserts this (a
+  // well-formed DistGraph guarantees it), so a *checker* must test it
+  // gracefully first — via the comm layer's query/reply round trip —
+  // and return false instead of tripping the assert on a corrupt graph.
+  comm::DestBuckets<gid_t> ghosts;
+  ghosts.begin(comm.size());
+  for (lid_t v = g.n_local(); v < g.n_total(); ++v)
+    ghosts.count(g.owner_of(v));
+  ghosts.commit();
+  for (lid_t v = g.n_local(); v < g.n_total(); ++v)
+    ghosts.push(g.owner_of(v), g.gid_of(v));
+  comm::Exchanger ex;
+  const std::span<const std::uint8_t> resolved = comm::query_reply(
+      comm, ex, ghosts.records(), ghosts.counts(), [&g](const gid_t q) {
+        const lid_t l = g.lid_of(q);
+        return static_cast<std::uint8_t>(l != kInvalidLid && g.is_owned(l));
+      });
+  bool routing_ok = true;
+  for (const std::uint8_t r : resolved)
+    if (!r) routing_ok = false;
+  // Collective agreement keeps the call pattern aligned: either every
+  // rank builds the halo plan below, or none does.
+  if (!comm.allreduce_and(routing_ok)) return false;
+
+  // Ghost consistency via the halo plan: refresh a copy of the labels
+  // from their owners and compare against what we hold. This re-ships
+  // the ghost set a second time on purpose — the checker validates the
+  // *production* HaloPlan path (registration ordering included), not
+  // just the label values. Plan build and exchange run unconditionally
+  // so the collective pattern stays aligned across ranks even when a
+  // local check already failed.
+  graph::HaloPlan halo(comm, g);
+  std::vector<part_t> refreshed(g.n_total(), kNoPart);
+  if (ok) std::copy(parts.begin(), parts.end(), refreshed.begin());
+  halo.exchange(comm, refreshed);
   if (ok) {
-    const int nranks = comm.size();
-    std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
     for (lid_t v = g.n_local(); v < g.n_total(); ++v)
-      ++counts[static_cast<std::size_t>(g.owner_of(v))];
-    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-    std::vector<gid_t> queries(g.n_ghost());
-    std::vector<lid_t> query_lid(g.n_ghost());
-    std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (lid_t v = g.n_local(); v < g.n_total(); ++v) {
-      const int owner = g.owner_of(v);
-      const count_t slot = cursor[static_cast<std::size_t>(owner)]++;
-      queries[static_cast<std::size_t>(slot)] = g.gid_of(v);
-      query_lid[static_cast<std::size_t>(slot)] = v;
-    }
-    std::vector<count_t> rcounts;
-    const std::vector<gid_t> incoming =
-        comm.alltoallv(queries, counts, &rcounts);
-    std::vector<part_t> replies(incoming.size(), kNoPart);
-    for (std::size_t i = 0; i < incoming.size(); ++i) {
-      const lid_t l = g.lid_of(incoming[i]);
-      if (l == kInvalidLid || !g.is_owned(l)) {
-        ok = false;
-      } else {
-        replies[i] = parts[l];
-      }
-    }
-    const std::vector<part_t> responses = comm.alltoallv(replies, rcounts);
-    for (std::size_t i = 0; i < responses.size(); ++i)
-      if (responses[i] != parts[query_lid[i]]) ok = false;
-  } else {
-    // Keep the collective call pattern aligned across ranks.
-    std::vector<count_t> counts(static_cast<std::size_t>(comm.size()), 0);
-    std::vector<count_t> rcounts;
-    (void)comm.alltoallv(std::vector<gid_t>{}, counts, &rcounts);
-    (void)comm.alltoallv(std::vector<part_t>{}, counts);
+      if (refreshed[v] != parts[v]) ok = false;
   }
   return comm.allreduce_and(ok);
 }

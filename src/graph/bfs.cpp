@@ -2,7 +2,8 @@
 
 #include <limits>
 
-#include "util/prefix_sum.hpp"
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
 
 namespace xtra::graph {
 
@@ -19,12 +20,18 @@ count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
     frontier.push_back(l);
   }
 
+  // Persistent across levels: notification bucketing and the wire
+  // engine reuse their buffers every superstep.
+  comm::DestBuckets<gid_t> buckets;
+  comm::Exchanger ex;
+  std::vector<gid_t> notify;  // ghost gids reached this level
+
   count_t level = 0;
   count_t max_level = 0;
   while (comm.allreduce_or(!frontier.empty())) {
     std::vector<lid_t> next;
-    std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
-    std::vector<gid_t> notify;  // ghost gids reached this level
+    buckets.begin(nranks);
+    notify.clear();
     for (const lid_t v : frontier) {
       const auto nbrs = use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
       for (const lid_t u : nbrs) {
@@ -34,22 +41,14 @@ count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
           next.push_back(u);
         } else {
           notify.push_back(g.gid_of(u));
-          ++counts[static_cast<std::size_t>(g.owner_of(u))];
+          buckets.count(g.owner_of(u));
         }
       }
     }
     // Group notifications by owner for the exchange.
-    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-    std::vector<gid_t> send(notify.size());
-    {
-      std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-      for (const gid_t gid : notify) {
-        const int owner = g.owner_of_gid(gid);
-        send[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(owner)]++)] = gid;
-      }
-    }
-    std::vector<gid_t> reached = comm.alltoallv(send, counts);
+    buckets.commit();
+    for (const gid_t gid : notify) buckets.push(g.owner_of_gid(gid), gid);
+    const std::span<const gid_t> reached = ex.exchange(comm, buckets);
     for (const gid_t gid : reached) {
       const lid_t l = g.lid_of(gid);
       XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
+#include "comm/query_reply.hpp"
 #include "util/prefix_sum.hpp"
 
 namespace xtra::graph {
@@ -17,18 +20,15 @@ struct Arc {
 
 /// Bucket arcs by owner(src) and exchange them so that every arc lands
 /// on the rank owning its source.
-std::vector<Arc> exchange_arcs(sim::Comm& comm, const VertexDist& dist,
+std::vector<Arc> exchange_arcs(sim::Comm& comm, comm::Exchanger& ex,
+                               const VertexDist& dist,
                                const std::vector<Arc>& arcs) {
-  const int p = comm.size();
-  std::vector<count_t> counts(static_cast<std::size_t>(p), 0);
-  for (const Arc& a : arcs) ++counts[static_cast<std::size_t>(dist.owner(a.src))];
-  std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-  std::vector<Arc> send(arcs.size());
-  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (const Arc& a : arcs)
-    send[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(dist.owner(a.src))]++)] = a;
-  return comm.alltoallv(send, counts);
+  comm::DestBuckets<Arc> buckets;
+  buckets.build(
+      comm.size(), arcs, [&dist](const Arc& a) { return dist.owner(a.src); },
+      [](const Arc& a) { return a; });
+  const std::span<const Arc> recv = ex.exchange(comm, buckets);
+  return {recv.begin(), recv.end()};
 }
 
 /// CSR over owned vertices from arcs whose src is owned here. Ghost
@@ -93,9 +93,10 @@ DistGraph build_dist_graph(sim::Comm& comm, const EdgeList& el,
     }
   }
 
-  std::vector<Arc> my_out = exchange_arcs(comm, dist, out_arcs);
+  comm::Exchanger ex;  // one wire engine for the whole build
+  std::vector<Arc> my_out = exchange_arcs(comm, ex, dist, out_arcs);
   std::vector<Arc> my_in;
-  if (el.directed) my_in = exchange_arcs(comm, dist, in_arcs);
+  if (el.directed) my_in = exchange_arcs(comm, ex, dist, in_arcs);
   out_arcs.clear();
   out_arcs.shrink_to_fit();
   in_arcs.clear();
@@ -137,35 +138,27 @@ DistGraph build_dist_graph(sim::Comm& comm, const EdgeList& el,
     if (el.directed) g.degree_[v] += g.in_offsets_[v + 1] - g.in_offsets_[v];
   }
 
-  const int nranks = comm.size();
-  std::vector<count_t> qcounts(static_cast<std::size_t>(nranks), 0);
-  for (lid_t v = g.n_local_; v < g.n_total(); ++v)
-    ++qcounts[static_cast<std::size_t>(dist.owner(g.lid_to_gid_[v]))];
-  std::vector<count_t> qoffsets = exclusive_prefix_sum(qcounts);
-  std::vector<gid_t> queries(g.n_ghost_);
-  // Ghost lids grouped by owner, remembering each query's ghost lid so
+  // Ghost gids grouped by owner, remembering each query's ghost lid so
   // responses (which come back in identical order) can be scattered.
+  comm::DestBuckets<gid_t> queries;
+  queries.begin(comm.size());
+  for (lid_t v = g.n_local_; v < g.n_total(); ++v)
+    queries.count(dist.owner(g.lid_to_gid_[v]));
+  queries.commit();
   std::vector<lid_t> query_lid(g.n_ghost_);
-  {
-    std::vector<count_t> cursor(qoffsets.begin(), qoffsets.end() - 1);
-    for (lid_t v = g.n_local_; v < g.n_total(); ++v) {
-      const int owner = dist.owner(g.lid_to_gid_[v]);
-      const count_t slot = cursor[static_cast<std::size_t>(owner)]++;
-      queries[static_cast<std::size_t>(slot)] = g.lid_to_gid_[v];
-      query_lid[static_cast<std::size_t>(slot)] = v;
-    }
+  for (lid_t v = g.n_local_; v < g.n_total(); ++v) {
+    const count_t slot =
+        queries.push(dist.owner(g.lid_to_gid_[v]), g.lid_to_gid_[v]);
+    query_lid[static_cast<std::size_t>(slot)] = v;
   }
-  std::vector<count_t> rcounts;
-  std::vector<gid_t> incoming = comm.alltoallv(queries, qcounts, &rcounts);
-  std::vector<count_t> replies(incoming.size());
-  for (std::size_t i = 0; i < incoming.size(); ++i) {
-    const lid_t l = g.gid_to_lid_.find(incoming[i]);
-    XTRA_ASSERT_MSG(l != kInvalidLid && l < g.n_local_,
-                    "degree query for vertex not owned here");
-    replies[i] = g.degree_[l];
-  }
-  std::vector<count_t> responses = comm.alltoallv(replies, rcounts);
-  XTRA_ASSERT(responses.size() == queries.size());
+  const std::span<const count_t> responses = comm::query_reply(
+      comm, ex, queries.records(), queries.counts(), [&g](const gid_t q) {
+        const lid_t l = g.gid_to_lid_.find(q);
+        XTRA_ASSERT_MSG(l != kInvalidLid && l < g.n_local_,
+                        "degree query for vertex not owned here");
+        return g.degree_[l];
+      });
+  XTRA_ASSERT(responses.size() == query_lid.size());
   for (std::size_t i = 0; i < responses.size(); ++i)
     g.degree_[query_lid[i]] = responses[i];
 

@@ -1,29 +1,27 @@
 #include "graph/halo.hpp"
 
+#include "comm/dest_buckets.hpp"
 #include "util/assert.hpp"
 
 namespace xtra::graph {
 
 HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g) {
-  const int nranks = comm.size();
   // Ghosts register with their owners: send each ghost gid to its
   // owner; arrival order on the owner defines the send order, and the
-  // order we sent defines our receive order. alltoallv preserves both.
-  std::vector<count_t> ghost_counts(static_cast<std::size_t>(nranks), 0);
+  // order we sent defines our receive order. The exchange preserves
+  // both.
+  comm::DestBuckets<gid_t> buckets;
+  buckets.begin(comm.size());
   for (lid_t v = g.n_local(); v < g.n_total(); ++v)
-    ++ghost_counts[static_cast<std::size_t>(g.owner_of(v))];
-  std::vector<count_t> offsets = exclusive_prefix_sum(ghost_counts);
-  std::vector<gid_t> ghost_gids(g.n_ghost());
+    buckets.count(g.owner_of(v));
+  buckets.commit();
   recv_lids_.resize(g.n_ghost());
-  std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
   for (lid_t v = g.n_local(); v < g.n_total(); ++v) {
-    const int owner = g.owner_of(v);
-    const count_t slot = cursor[static_cast<std::size_t>(owner)]++;
-    ghost_gids[static_cast<std::size_t>(slot)] = g.gid_of(v);
+    const count_t slot = buckets.push(g.owner_of(v), g.gid_of(v));
     recv_lids_[static_cast<std::size_t>(slot)] = v;
   }
-  const std::vector<gid_t> registrations =
-      comm.alltoallv(ghost_gids, ghost_counts, &send_counts_);
+  const std::span<const gid_t> registrations =
+      ex_.exchange(comm, buckets, &send_counts_);
   send_lids_.resize(registrations.size());
   for (std::size_t i = 0; i < registrations.size(); ++i) {
     const lid_t l = g.lid_of(registrations[i]);

@@ -6,13 +6,21 @@
 // sender/receiver lists once and replaying them each iteration is the
 // standard halo pattern; the plan is the moral equivalent of an
 // Epetra Import object.
+//
+// The plan owns its wire machinery: a persistent staging buffer for
+// the gathered send values and a comm::Exchanger (optionally
+// memory-bounded via set_max_send_bytes), so per-superstep exchanges
+// reallocate nothing on the send path.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "comm/exchanger.hpp"
+#include "comm/scratch.hpp"
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
-#include "util/prefix_sum.hpp"
+#include "util/assert.hpp"
 
 namespace xtra::graph {
 
@@ -24,21 +32,32 @@ class HaloPlan {
   /// Collective: copy vals[owned] into every ghost copy; vals must
   /// have size g.n_total() and element type T trivially copyable.
   template <typename T>
-  void exchange(sim::Comm& comm, std::vector<T>& vals) const {
-    std::vector<T> send(send_lids_.size());
+  void exchange(sim::Comm& comm, std::vector<T>& vals) {
+    T* send = send_scratch_.as<T>(send_lids_.size());
     for (std::size_t i = 0; i < send_lids_.size(); ++i)
       send[i] = vals[send_lids_[i]];
-    const std::vector<T> recv = comm.alltoallv(send, send_counts_);
+    const std::span<const T> recv = ex_.exchange(comm, send, send_counts_);
+    XTRA_ASSERT(recv.size() == recv_lids_.size());
     for (std::size_t i = 0; i < recv_lids_.size(); ++i)
       vals[recv_lids_[i]] = recv[i];
   }
 
   count_t ghost_count() const { return static_cast<count_t>(recv_lids_.size()); }
 
+  /// Cap the per-phase send payload of subsequent exchanges (0 =
+  /// unbounded). Same value required on every rank.
+  void set_max_send_bytes(count_t bytes) { ex_.set_max_send_bytes(bytes); }
+  const comm::ExchangeStats& stats() const { return ex_.stats(); }
+  /// Drop accumulated stats (e.g. the constructor's registration
+  /// exchange) so benches can meter only the replayed exchanges.
+  void reset_stats() { ex_.reset_stats(); }
+
  private:
   std::vector<count_t> send_counts_;  ///< per destination rank
   std::vector<lid_t> send_lids_;      ///< owned lids, grouped by dest
   std::vector<lid_t> recv_lids_;      ///< ghost lids in arrival order
+  comm::ScratchBuffer send_scratch_;  ///< reused staging for send values
+  comm::Exchanger ex_;                ///< persistent wire machinery
 };
 
 }  // namespace xtra::graph

@@ -288,6 +288,65 @@ class Comm {
     return recv;
   }
 
+  /// Untyped MPI_Alltoallv over elements of `elem_size` bytes — the
+  /// primitive the comm layer's Exchanger builds on. Semantics match
+  /// the typed overload above, but the receive buffer is a reusable
+  /// byte vector (resized, so steady-state callers keep its capacity).
+  /// Returns the number of elements received.
+  count_t alltoallv_bytes(const void* send, std::size_t elem_size,
+                          const std::vector<count_t>& sendcounts,
+                          std::vector<std::byte>& recv,
+                          std::vector<count_t>* recvcounts_out = nullptr) {
+    XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
+    Timer t;
+#ifndef NDEBUG
+    count_t send_total = 0;
+    for (const count_t c : sendcounts) send_total += c;
+    XTRA_ASSERT_MSG(send_total == 0 || send != nullptr,
+                    "alltoallv_bytes needs a send buffer when counts > 0");
+#endif
+    world_->slot(rank_) = send;
+    world_->aux_slot(rank_) = sendcounts.data();
+    world_->sync();
+
+    std::vector<count_t> recvcounts(static_cast<std::size_t>(size()));
+    count_t total = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto* counts = static_cast<const count_t*>(world_->aux_slot(r));
+      recvcounts[static_cast<std::size_t>(r)] = counts[rank_];
+      total += counts[rank_];
+    }
+    recv.resize(static_cast<std::size_t>(total) * elem_size);
+    std::size_t out = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto* counts = static_cast<const count_t*>(world_->aux_slot(r));
+      if (counts[rank_] == 0) continue;
+      count_t offset = 0;
+      for (int q = 0; q < rank_; ++q) offset += counts[q];
+      const auto* src = static_cast<const std::byte*>(world_->slot(r)) +
+                        static_cast<std::size_t>(offset) * elem_size;
+      const std::size_t len =
+          static_cast<std::size_t>(counts[rank_]) * elem_size;
+      std::memcpy(recv.data() + out, src, len);
+      out += len;
+    }
+    world_->sync();
+
+    count_t bytes = 0;
+    count_t msgs = 0;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      if (sendcounts[static_cast<std::size_t>(r)] > 0) {
+        bytes += sendcounts[static_cast<std::size_t>(r)] *
+                 static_cast<count_t>(elem_size);
+        ++msgs;
+      }
+    }
+    note(bytes, msgs, t);
+    if (recvcounts_out) *recvcounts_out = std::move(recvcounts);
+    return total;
+  }
+
   /// Gather variable-length contributions to `root` (others get {}).
   template <typename T>
   std::vector<T> gatherv(const std::vector<T>& send, int root = 0) {
@@ -343,6 +402,22 @@ class Comm {
   /// every rank).
   count_t global_bytes_sent() {
     return allreduce_sum<count_t>(stats().bytes_sent);
+  }
+
+  /// Field-wise sum of every rank's statistics, snapshotted before the
+  /// reduction (the reductions this call performs are not included).
+  /// Collective; the benches' one-stop aggregate.
+  CommStats world_stats() {
+    const CommStats mine = stats();
+    std::vector<count_t> c{mine.bytes_sent, mine.messages_sent,
+                           mine.collectives};
+    allreduce_sum(c);
+    CommStats out;
+    out.bytes_sent = c[0];
+    out.messages_sent = c[1];
+    out.collectives = c[2];
+    out.comm_seconds = allreduce_sum(mine.comm_seconds);
+    return out;
   }
 
  private:

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/dest_buckets.hpp"
 #include "util/assert.hpp"
-#include "util/prefix_sum.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::spmv {
@@ -119,21 +119,17 @@ DistSpmv::DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
   // --- x import plan: request each needed column's value from its
   // owner (once, at setup). ---
   {
-    std::vector<count_t> counts(static_cast<std::size_t>(p), 0);
-    for (const gid_t v : cols) ++counts[static_cast<std::size_t>(owners[v])];
-    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-    std::vector<gid_t> requests(cols.size());
+    comm::DestBuckets<gid_t> requests;
+    requests.begin(p);
+    for (const gid_t v : cols) requests.count(owners[v]);
+    requests.commit();
     x_recv_slot_.resize(cols.size());
-    std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
     for (const gid_t v : cols) {
-      const count_t slot = cursor[static_cast<std::size_t>(owners[v])]++;
-      requests[static_cast<std::size_t>(slot)] = v;
+      const count_t slot = requests.push(owners[v], v);
       x_recv_slot_[static_cast<std::size_t>(slot)] = col_of(v);
     }
-    std::vector<count_t> rcounts;
-    const std::vector<gid_t> incoming =
-        comm.alltoallv(requests, counts, &rcounts);
-    x_send_counts_ = std::move(rcounts);
+    const std::span<const gid_t> incoming =
+        ex_.exchange(comm, requests, &x_send_counts_);
     x_send_index_.resize(incoming.size());
     for (std::size_t i = 0; i < incoming.size(); ++i) {
       XTRA_ASSERT(owners[incoming[i]] == me);
@@ -143,22 +139,17 @@ DistSpmv::DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
 
   // --- y fold plan: announce which rows we hold partials for. ---
   {
-    std::vector<count_t> counts(static_cast<std::size_t>(p), 0);
-    for (const gid_t u : rows) ++counts[static_cast<std::size_t>(owners[u])];
-    std::vector<count_t> offsets = exclusive_prefix_sum(counts);
-    std::vector<gid_t> announce(rows.size());
+    comm::DestBuckets<gid_t> announce;
+    announce.begin(p);
+    for (const gid_t u : rows) announce.count(owners[u]);
+    announce.commit();
     y_send_row_.resize(rows.size());
-    std::vector<count_t> cursor(offsets.begin(), offsets.end() - 1);
     for (const gid_t u : rows) {
-      const count_t slot = cursor[static_cast<std::size_t>(owners[u])]++;
-      announce[static_cast<std::size_t>(slot)] = u;
+      const count_t slot = announce.push(owners[u], u);
       y_send_row_[static_cast<std::size_t>(slot)] = row_of(u);
     }
-    y_send_counts_ = std::move(counts);
-    std::vector<count_t> rcounts;
-    const std::vector<gid_t> incoming =
-        comm.alltoallv(announce, y_send_counts_, &rcounts);
-    (void)rcounts;
+    y_send_counts_ = announce.counts();
+    const std::span<const gid_t> incoming = ex_.exchange(comm, announce);
     y_recv_slot_.resize(incoming.size());
     for (std::size_t i = 0; i < incoming.size(); ++i) {
       XTRA_ASSERT(owners[incoming[i]] == me);
@@ -189,7 +180,8 @@ SpmvStats DistSpmv::run(sim::Comm& comm, int iters) {
     // column.
     for (std::size_t i = 0; i < x_send_index_.size(); ++i)
       xsend[i] = x[static_cast<std::size_t>(x_send_index_[i])];
-    const std::vector<double> ximp = comm.alltoallv(xsend, x_send_counts_);
+    const std::span<const double> ximp =
+        ex_.exchange(comm, xsend, x_send_counts_);
     XTRA_ASSERT(ximp.size() == x_recv_slot_.size());
     for (std::size_t i = 0; i < ximp.size(); ++i)
       xcol[static_cast<std::size_t>(x_recv_slot_[i])] = ximp[i];
@@ -206,7 +198,8 @@ SpmvStats DistSpmv::run(sim::Comm& comm, int iters) {
     // Fold: partials travel to the row owner and accumulate.
     for (std::size_t i = 0; i < y_send_row_.size(); ++i)
       ysend[i] = y_partial[static_cast<std::size_t>(y_send_row_[i])];
-    const std::vector<double> yimp = comm.alltoallv(ysend, y_send_counts_);
+    const std::span<const double> yimp =
+        ex_.exchange(comm, ysend, y_send_counts_);
     XTRA_ASSERT(yimp.size() == y_recv_slot_.size());
     std::fill(y.begin(), y.end(), 0.0);
     for (std::size_t i = 0; i < yimp.size(); ++i)

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "comm/exchanger.hpp"
 #include "graph/edge_list.hpp"
 #include "mpisim/comm.hpp"
 
@@ -79,6 +80,10 @@ class DistSpmv {
   std::vector<count_t> y_send_counts_;
   std::vector<count_t> y_send_row_;
   std::vector<count_t> y_recv_slot_;  ///< owned-x slot per arrival
+
+  /// Persistent wire engine shared by the setup round trips and both
+  /// per-iteration exchanges (expand and fold).
+  comm::Exchanger ex_;
 };
 
 /// Convenience: ranks-from-partition. parts must use exactly

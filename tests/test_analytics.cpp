@@ -34,7 +34,7 @@ TEST_P(AnalyticsRanks, HaloExchangeRefreshesEveryGhost) {
   sim::run_world(nranks, [&](sim::Comm& comm) {
     const DistGraph g =
         build_dist_graph(comm, el, VertexDist::random(el.n, nranks, 3));
-    const graph::HaloPlan halo(comm, g);
+    graph::HaloPlan halo(comm, g);
     EXPECT_EQ(halo.ghost_count(), static_cast<count_t>(g.n_ghost()));
     std::vector<gid_t> vals(g.n_total(), 0);
     for (lid_t v = 0; v < g.n_local(); ++v) vals[v] = g.gid_of(v) * 7 + 1;

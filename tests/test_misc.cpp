@@ -112,7 +112,7 @@ TEST(Halo, RepeatedExchangesTrackChangingValues) {
   sim::run_world(3, [&](sim::Comm& comm) {
     const auto g = graph::build_dist_graph(
         comm, el, VertexDist::random(el.n, 3, 4));
-    const graph::HaloPlan halo(comm, g);
+    graph::HaloPlan halo(comm, g);
     std::vector<count_t> vals(g.n_total(), 0);
     for (count_t round = 1; round <= 5; ++round) {
       for (lid_t v = 0; v < g.n_local(); ++v)
@@ -132,7 +132,7 @@ TEST(Halo, DirectedGraphCoversInAndOutGhosts) {
   sim::run_world(2, [&](sim::Comm& comm) {
     const auto g = graph::build_dist_graph(
         comm, el, VertexDist::block(el.n, 2));
-    const graph::HaloPlan halo(comm, g);
+    graph::HaloPlan halo(comm, g);
     std::vector<gid_t> vals(g.n_total(), 999);
     for (lid_t v = 0; v < g.n_local(); ++v) vals[v] = g.gid_of(v);
     halo.exchange(comm, vals);
