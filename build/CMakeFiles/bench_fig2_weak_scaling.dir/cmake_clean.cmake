@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_weak_scaling.dir/bench/bench_fig2_weak_scaling.cpp.o"
+  "CMakeFiles/bench_fig2_weak_scaling.dir/bench/bench_fig2_weak_scaling.cpp.o.d"
+  "bench_fig2_weak_scaling"
+  "bench_fig2_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_speedup.dir/bench/bench_fig3_speedup.cpp.o"
+  "CMakeFiles/bench_fig3_speedup.dir/bench/bench_fig3_speedup.cpp.o.d"
+  "bench_fig3_speedup"
+  "bench_fig3_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

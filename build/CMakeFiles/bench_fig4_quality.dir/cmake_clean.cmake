@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_quality.dir/bench/bench_fig4_quality.cpp.o"
+  "CMakeFiles/bench_fig4_quality.dir/bench/bench_fig4_quality.cpp.o.d"
+  "bench_fig4_quality"
+  "bench_fig4_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

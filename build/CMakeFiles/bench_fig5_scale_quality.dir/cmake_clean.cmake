@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scale_quality.dir/bench/bench_fig5_scale_quality.cpp.o"
+  "CMakeFiles/bench_fig5_scale_quality.dir/bench/bench_fig5_scale_quality.cpp.o.d"
+  "bench_fig5_scale_quality"
+  "bench_fig5_scale_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scale_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

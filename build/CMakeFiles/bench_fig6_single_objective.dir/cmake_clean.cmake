@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_single_objective.dir/bench/bench_fig6_single_objective.cpp.o"
+  "CMakeFiles/bench_fig6_single_objective.dir/bench/bench_fig6_single_objective.cpp.o.d"
+  "bench_fig6_single_objective"
+  "bench_fig6_single_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_single_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

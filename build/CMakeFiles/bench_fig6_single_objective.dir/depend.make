@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_single_objective.
+# This may be replaced when dependencies are built.

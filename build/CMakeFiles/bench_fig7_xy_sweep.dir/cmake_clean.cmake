@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_xy_sweep.dir/bench/bench_fig7_xy_sweep.cpp.o"
+  "CMakeFiles/bench_fig7_xy_sweep.dir/bench/bench_fig7_xy_sweep.cpp.o.d"
+  "bench_fig7_xy_sweep"
+  "bench_fig7_xy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_xy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

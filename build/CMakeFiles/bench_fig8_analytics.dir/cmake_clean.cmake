@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_analytics.dir/bench/bench_fig8_analytics.cpp.o"
+  "CMakeFiles/bench_fig8_analytics.dir/bench/bench_fig8_analytics.cpp.o.d"
+  "bench_fig8_analytics"
+  "bench_fig8_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_exchange.dir/bench/bench_micro_exchange.cpp.o"
+  "CMakeFiles/bench_micro_exchange.dir/bench/bench_micro_exchange.cpp.o.d"
+  "bench_micro_exchange"
+  "bench_micro_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

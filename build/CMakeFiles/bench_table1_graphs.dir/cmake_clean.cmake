@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_graphs.dir/bench/bench_table1_graphs.cpp.o"
+  "CMakeFiles/bench_table1_graphs.dir/bench/bench_table1_graphs.cpp.o.d"
+  "bench_table1_graphs"
+  "bench_table1_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_comparison.dir/bench/bench_table2_comparison.cpp.o"
+  "CMakeFiles/bench_table2_comparison.dir/bench/bench_table2_comparison.cpp.o.d"
+  "bench_table2_comparison"
+  "bench_table2_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_spmv.dir/bench/bench_table3_spmv.cpp.o"
+  "CMakeFiles/bench_table3_spmv.dir/bench/bench_table3_spmv.cpp.o.d"
+  "bench_table3_spmv"
+  "bench_table3_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

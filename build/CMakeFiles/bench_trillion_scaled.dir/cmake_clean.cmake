@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trillion_scaled.dir/bench/bench_trillion_scaled.cpp.o"
+  "CMakeFiles/bench_trillion_scaled.dir/bench/bench_trillion_scaled.cpp.o.d"
+  "bench_trillion_scaled"
+  "bench_trillion_scaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trillion_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mesh_spmv.dir/examples/mesh_spmv.cpp.o"
+  "CMakeFiles/example_mesh_spmv.dir/examples/mesh_spmv.cpp.o.d"
+  "example_mesh_spmv"
+  "example_mesh_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mesh_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_partition_tool.dir/examples/partition_tool.cpp.o"
+  "CMakeFiles/example_partition_tool.dir/examples/partition_tool.cpp.o.d"
+  "example_partition_tool"
+  "example_partition_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_partition_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_analytics.dir/examples/social_analytics.cpp.o"
+  "CMakeFiles/example_social_analytics.dir/examples/social_analytics.cpp.o.d"
+  "example_social_analytics"
+  "example_social_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

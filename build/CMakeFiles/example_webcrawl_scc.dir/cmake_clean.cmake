@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_webcrawl_scc.dir/examples/webcrawl_scc.cpp.o"
+  "CMakeFiles/example_webcrawl_scc.dir/examples/webcrawl_scc.cpp.o.d"
+  "example_webcrawl_scc"
+  "example_webcrawl_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_webcrawl_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_webcrawl_scc.
+# This may be replaced when dependencies are built.

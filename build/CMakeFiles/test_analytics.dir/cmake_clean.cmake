@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics.dir/tests/test_analytics.cpp.o"
+  "CMakeFiles/test_analytics.dir/tests/test_analytics.cpp.o.d"
+  "test_analytics"
+  "test_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/tests/test_comm.cpp.o"
+  "CMakeFiles/test_comm.dir/tests/test_comm.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen.dir/tests/test_gen.cpp.o"
+  "CMakeFiles/test_gen.dir/tests/test_gen.cpp.o.d"
+  "test_gen"
+  "test_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc.dir/tests/test_misc.cpp.o"
+  "CMakeFiles/test_misc.dir/tests/test_misc.cpp.o.d"
+  "test_misc"
+  "test_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim.dir/tests/test_mpisim.cpp.o"
+  "CMakeFiles/test_mpisim.dir/tests/test_mpisim.cpp.o.d"
+  "test_mpisim"
+  "test_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

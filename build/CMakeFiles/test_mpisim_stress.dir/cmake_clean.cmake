@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim_stress.dir/tests/test_mpisim_stress.cpp.o"
+  "CMakeFiles/test_mpisim_stress.dir/tests/test_mpisim_stress.cpp.o.d"
+  "test_mpisim_stress"
+  "test_mpisim_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

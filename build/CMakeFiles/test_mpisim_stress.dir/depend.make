@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpisim_stress.
+# This may be replaced when dependencies are built.

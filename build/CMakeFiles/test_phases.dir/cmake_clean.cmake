@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phases.dir/tests/test_phases.cpp.o"
+  "CMakeFiles/test_phases.dir/tests/test_phases.cpp.o.d"
+  "test_phases"
+  "test_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_references.dir/tests/test_references.cpp.o"
+  "CMakeFiles/test_references.dir/tests/test_references.cpp.o.d"
+  "test_references"
+  "test_references.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_references.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

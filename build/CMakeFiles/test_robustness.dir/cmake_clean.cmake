@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robustness.dir/tests/test_robustness.cpp.o"
+  "CMakeFiles/test_robustness.dir/tests/test_robustness.cpp.o.d"
+  "test_robustness"
+  "test_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

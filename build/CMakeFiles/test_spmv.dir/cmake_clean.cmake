@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv.dir/tests/test_spmv.cpp.o"
+  "CMakeFiles/test_spmv.dir/tests/test_spmv.cpp.o.d"
+  "test_spmv"
+  "test_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

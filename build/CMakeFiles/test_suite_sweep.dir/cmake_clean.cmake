@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_sweep.dir/tests/test_suite_sweep.cpp.o"
+  "CMakeFiles/test_suite_sweep.dir/tests/test_suite_sweep.cpp.o.d"
+  "test_suite_sweep"
+  "test_suite_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

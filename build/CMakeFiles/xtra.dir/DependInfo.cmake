@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/commlp.cpp" "CMakeFiles/xtra.dir/src/analytics/commlp.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/analytics/commlp.cpp.o.d"
+  "/root/repo/src/analytics/components.cpp" "CMakeFiles/xtra.dir/src/analytics/components.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/analytics/components.cpp.o.d"
+  "/root/repo/src/analytics/harmonic.cpp" "CMakeFiles/xtra.dir/src/analytics/harmonic.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/analytics/harmonic.cpp.o.d"
+  "/root/repo/src/analytics/kcore.cpp" "CMakeFiles/xtra.dir/src/analytics/kcore.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/analytics/kcore.cpp.o.d"
+  "/root/repo/src/analytics/pagerank.cpp" "CMakeFiles/xtra.dir/src/analytics/pagerank.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/analytics/pagerank.cpp.o.d"
+  "/root/repo/src/analytics/scc.cpp" "CMakeFiles/xtra.dir/src/analytics/scc.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/analytics/scc.cpp.o.d"
+  "/root/repo/src/baseline/coarsen.cpp" "CMakeFiles/xtra.dir/src/baseline/coarsen.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/coarsen.cpp.o.d"
+  "/root/repo/src/baseline/fm_refine.cpp" "CMakeFiles/xtra.dir/src/baseline/fm_refine.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/fm_refine.cpp.o.d"
+  "/root/repo/src/baseline/matching.cpp" "CMakeFiles/xtra.dir/src/baseline/matching.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/matching.cpp.o.d"
+  "/root/repo/src/baseline/multilevel.cpp" "CMakeFiles/xtra.dir/src/baseline/multilevel.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/multilevel.cpp.o.d"
+  "/root/repo/src/baseline/pulp.cpp" "CMakeFiles/xtra.dir/src/baseline/pulp.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/pulp.cpp.o.d"
+  "/root/repo/src/baseline/sclp.cpp" "CMakeFiles/xtra.dir/src/baseline/sclp.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/sclp.cpp.o.d"
+  "/root/repo/src/baseline/serial_graph.cpp" "CMakeFiles/xtra.dir/src/baseline/serial_graph.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/serial_graph.cpp.o.d"
+  "/root/repo/src/baseline/trivial.cpp" "CMakeFiles/xtra.dir/src/baseline/trivial.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/baseline/trivial.cpp.o.d"
+  "/root/repo/src/comm/exchanger.cpp" "CMakeFiles/xtra.dir/src/comm/exchanger.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/comm/exchanger.cpp.o.d"
+  "/root/repo/src/core/edge_phases.cpp" "CMakeFiles/xtra.dir/src/core/edge_phases.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/core/edge_phases.cpp.o.d"
+  "/root/repo/src/core/exchange.cpp" "CMakeFiles/xtra.dir/src/core/exchange.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/core/exchange.cpp.o.d"
+  "/root/repo/src/core/init.cpp" "CMakeFiles/xtra.dir/src/core/init.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/core/init.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "CMakeFiles/xtra.dir/src/core/state.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/core/state.cpp.o.d"
+  "/root/repo/src/core/vert_phases.cpp" "CMakeFiles/xtra.dir/src/core/vert_phases.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/core/vert_phases.cpp.o.d"
+  "/root/repo/src/core/xtrapulp.cpp" "CMakeFiles/xtra.dir/src/core/xtrapulp.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/core/xtrapulp.cpp.o.d"
+  "/root/repo/src/gen/mesh.cpp" "CMakeFiles/xtra.dir/src/gen/mesh.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/gen/mesh.cpp.o.d"
+  "/root/repo/src/gen/random_graphs.cpp" "CMakeFiles/xtra.dir/src/gen/random_graphs.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/gen/random_graphs.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "CMakeFiles/xtra.dir/src/gen/rmat.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/gen/rmat.cpp.o.d"
+  "/root/repo/src/gen/smallworld.cpp" "CMakeFiles/xtra.dir/src/gen/smallworld.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/gen/smallworld.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "CMakeFiles/xtra.dir/src/gen/suite.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/gen/suite.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "CMakeFiles/xtra.dir/src/graph/bfs.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/dist.cpp" "CMakeFiles/xtra.dir/src/graph/dist.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/dist.cpp.o.d"
+  "/root/repo/src/graph/dist_graph.cpp" "CMakeFiles/xtra.dir/src/graph/dist_graph.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/dist_graph.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "CMakeFiles/xtra.dir/src/graph/edge_list.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/halo.cpp" "CMakeFiles/xtra.dir/src/graph/halo.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/halo.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/xtra.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "CMakeFiles/xtra.dir/src/graph/stats.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/graph/stats.cpp.o.d"
+  "/root/repo/src/metrics/quality.cpp" "CMakeFiles/xtra.dir/src/metrics/quality.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/metrics/quality.cpp.o.d"
+  "/root/repo/src/mpisim/world.cpp" "CMakeFiles/xtra.dir/src/mpisim/world.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/mpisim/world.cpp.o.d"
+  "/root/repo/src/spmv/spmv.cpp" "CMakeFiles/xtra.dir/src/spmv/spmv.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/spmv/spmv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/xtra.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/xtra.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/xtra.dir/src/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
