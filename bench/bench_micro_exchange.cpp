@@ -7,8 +7,10 @@
 // The bounded-exchange benchmarks sweep max_send_bytes across the
 // label-propagation exchange path and report per-iteration wire bytes
 // and collective counts from the aggregated CommStats; a final
-// COMM_STATS_JSON block emits the same numbers machine-readably so
-// future PRs can track comm-volume regressions.
+// COMM_STATS_JSON block emits the same numbers machine-readably
+// (plus the start/finish overlap accounting) so future PRs can track
+// comm-volume regressions — bench/check_comm_baseline.py diffs it
+// against bench/baselines/comm_stats.json in CI.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -33,7 +35,24 @@ struct CommRow {
   double bytes_per_iter = 0.0;        ///< wire bytes, summed over ranks
   double collectives_per_iter = 0.0;  ///< collective invocations (world)
   double phases_per_iter = 0.0;       ///< alltoallv rounds per exchange
+  // Overlap accounting (rank 0's engine; timings are informational,
+  // the baseline check compares only bytes and collectives).
+  double overlapped_frac = 0.0;     ///< start/finish-driven exchanges
+  double start_seconds = 0.0;       ///< time inside start() halves
+  double finish_seconds = 0.0;      ///< time inside finish() halves
+  count_t max_inflight_bytes = 0;   ///< peak payload held in flight
 };
+
+/// Fill a row's overlap fields from one engine's aggregated stats.
+void note_overlap(CommRow& row, const xtra::comm::ExchangeStats& s) {
+  row.phases_per_iter = static_cast<double>(s.phases) /
+                        static_cast<double>(s.exchanges);
+  row.overlapped_frac = static_cast<double>(s.overlapped) /
+                        static_cast<double>(s.exchanges);
+  row.start_seconds = s.start_seconds;
+  row.finish_seconds = s.finish_seconds;
+  row.max_inflight_bytes = s.max_inflight_bytes;
+}
 
 std::map<std::string, CommRow>& comm_rows() {
   static std::map<std::string, CommRow> rows;
@@ -108,9 +127,7 @@ void BM_ExchangeUpdatesBounded(benchmark::State& state) {
         row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
         row.collectives_per_iter =
             static_cast<double>(world.collectives) / kIters;
-        row.phases_per_iter =
-            static_cast<double>(exchanger.stats().phases) /
-            static_cast<double>(exchanger.stats().exchanges);
+        note_overlap(row, exchanger.stats());
       }
     });
   }
@@ -120,12 +137,15 @@ void BM_ExchangeUpdatesBounded(benchmark::State& state) {
   record_row(row);
 }
 BENCHMARK(BM_ExchangeUpdatesBounded)
+    ->Args({2, 0})
     ->Args({4, 0})
     ->Args({4, 1 << 12})
     ->Args({4, 1 << 16})
     ->Args({4, 1 << 20})
     ->Args({8, 0})
-    ->Args({8, 1 << 16});
+    ->Args({8, 1 << 16})
+    ->Args({16, 0})
+    ->Args({16, 1 << 16});
 
 void BM_HaloExchangeBounded(benchmark::State& state) {
   const int nranks = static_cast<int>(state.range(0));
@@ -151,8 +171,7 @@ void BM_HaloExchangeBounded(benchmark::State& state) {
         row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
         row.collectives_per_iter =
             static_cast<double>(world.collectives) / kIters;
-        row.phases_per_iter = static_cast<double>(halo.stats().phases) /
-                              static_cast<double>(halo.stats().exchanges);
+        note_overlap(row, halo.stats());
       }
     });
   }
@@ -165,7 +184,54 @@ BENCHMARK(BM_HaloExchangeBounded)
     ->Args({2, 0})
     ->Args({4, 0})
     ->Args({4, 1 << 14})
-    ->Args({8, 0});
+    ->Args({8, 0})
+    ->Args({16, 0});
+
+/// The overlapped ghost-refresh pipeline (prefetch_next / local update
+/// of the interior / finish_prefetch) against the same workload as
+/// BM_HaloExchangeBounded: wire bytes and collectives must match the
+/// blocking rows exactly — the overlap is free — while the interior
+/// update runs during the in-flight exchange.
+void BM_HaloPrefetchOverlap(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto bound = static_cast<count_t>(state.range(1));
+  constexpr int kIters = 10;
+  const graph::EdgeList el = gen::erdos_renyi(20'000, 16, 3);
+  CommRow row{"halo_prefetch", nranks, bound, 0, 0, 0};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      graph::HaloPlan halo(comm, g);
+      halo.set_max_send_bytes(bound);
+      halo.reset_stats();
+      std::vector<double> vals(g.n_total(), 1.0);
+      comm.barrier();
+      comm.reset_stats();
+      for (int i = 0; i < kIters; ++i)
+        halo.overlapped_superstep(comm, vals,
+                                  [&](lid_t v) { vals[v] += 1.0; });
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / kIters;
+        note_overlap(row, halo.stats());
+      }
+    });
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  state.counters["inflight_max"] =
+      static_cast<double>(row.max_inflight_bytes);
+  record_row(row);
+}
+BENCHMARK(BM_HaloPrefetchOverlap)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({4, 1 << 14})
+    ->Args({8, 0})
+    ->Args({16, 0});
 
 }  // namespace
 
@@ -183,10 +249,14 @@ int main(int argc, char** argv) {
     std::printf(
         "%s  {\"bench\": \"%s\", \"nranks\": %d, \"max_send_bytes\": %lld, "
         "\"bytes_per_iter\": %.1f, \"collectives_per_iter\": %.2f, "
-        "\"phases_per_exchange\": %.2f}",
+        "\"phases_per_exchange\": %.2f, \"overlapped_frac\": %.2f, "
+        "\"start_seconds\": %.4f, \"finish_seconds\": %.4f, "
+        "\"max_inflight_bytes\": %lld}",
         first ? "" : ",\n", r.bench.c_str(), r.nranks,
         static_cast<long long>(r.max_send_bytes), r.bytes_per_iter,
-        r.collectives_per_iter, r.phases_per_iter);
+        r.collectives_per_iter, r.phases_per_iter, r.overlapped_frac,
+        r.start_seconds, r.finish_seconds,
+        static_cast<long long>(r.max_inflight_bytes));
     first = false;
   }
   std::printf("\n]\n");

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Comm-volume regression gate.
+
+Runs bench_micro_exchange, parses its COMM_STATS_JSON block, and diffs
+it against the checked-in baseline (bench/baselines/comm_stats.json).
+A row regresses when bytes_per_iter or collectives_per_iter grows more
+than --tolerance (default 10%) over the baseline; a baseline row
+missing from the current run is also a failure (a silently dropped
+sweep is how regressions hide). Timing fields are informational and
+never compared. New rows are reported and otherwise ignored — add them
+to the baseline with --update.
+
+Usage:
+  python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
+  python3 bench/check_comm_baseline.py --bench ... --update   # refresh
+"""
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+BASELINE = pathlib.Path(__file__).parent / "baselines" / "comm_stats.json"
+COMPARED = ("bytes_per_iter", "collectives_per_iter")
+
+
+def run_bench(bench, min_time):
+    cmd = [bench, f"--benchmark_min_time={min_time}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"bench exited with {proc.returncode}: {' '.join(cmd)}")
+    return proc.stdout
+
+
+def parse_rows(stdout):
+    marker = "COMM_STATS_JSON"
+    at = stdout.find(marker)
+    if at < 0:
+        sys.exit("no COMM_STATS_JSON block in bench output")
+    return json.loads(stdout[at + len(marker):])
+
+
+def key_of(row):
+    return (row["bench"], row["nranks"], row["max_send_bytes"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default="build/bench_micro_exchange",
+                    help="path to the bench_micro_exchange binary")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional growth per compared metric")
+    ap.add_argument("--min-time", default="0.01",
+                    help="--benchmark_min_time passed to the bench")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current run")
+    args = ap.parse_args()
+
+    rows = parse_rows(run_bench(args.bench, args.min_time))
+    current = {key_of(r): r for r in rows}
+
+    if args.update:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"wrote {len(rows)} rows to {BASELINE}")
+        return
+
+    baseline = {key_of(r): r for r in json.loads(BASELINE.read_text())}
+    failures = []
+    for key, base in sorted(baseline.items()):
+        got = current.get(key)
+        if got is None:
+            failures.append(f"{key}: row missing from current run")
+            continue
+        for metric in COMPARED:
+            allowed = base[metric] * (1.0 + args.tolerance)
+            if got[metric] > allowed:
+                failures.append(
+                    f"{key}: {metric} {got[metric]:.1f} > baseline "
+                    f"{base[metric]:.1f} (+{args.tolerance:.0%} allowed)")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: new row not in baseline: {key}")
+
+    if failures:
+        print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"comm baseline check passed: {len(baseline)} rows within "
+          f"{args.tolerance:.0%}")
+
+
+if __name__ == "__main__":
+    main()

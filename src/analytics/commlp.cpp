@@ -22,31 +22,36 @@ CommunityResult label_propagation(sim::Comm& comm,
   // Scratch for majority counting: labels are arbitrary gids, so use a
   // sorted copy of the neighborhood's labels per vertex.
   std::vector<gid_t> nbr_labels;
+  // Synchronous update: read prev, write label. Order is therefore
+  // free, so each sweep updates the boundary vertices first, ships
+  // them (the only labels any peer reads) while the interior computes,
+  // and drains the ghost refresh at the end — bit-identical to the
+  // all-then-exchange sweep.
+  const auto relabel = [&](lid_t v, bool& changed) {
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.empty()) return;
+    nbr_labels.clear();
+    for (const lid_t u : nbrs) nbr_labels.push_back(prev[u]);
+    std::sort(nbr_labels.begin(), nbr_labels.end());
+    // Majority label, ties toward the smaller label (deterministic).
+    gid_t best = prev[v];
+    std::size_t best_count = 0;
+    for (std::size_t i = 0; i < nbr_labels.size();) {
+      std::size_t j = i;
+      while (j < nbr_labels.size() && nbr_labels[j] == nbr_labels[i]) ++j;
+      if (j - i > best_count) {
+        best_count = j - i;
+        best = nbr_labels[i];
+      }
+      i = j;
+    }
+    if (best != result.label[v]) changed = true;
+    result.label[v] = best;
+  };
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     bool changed = false;
-    // Synchronous update: read prev, write label.
-    for (lid_t v = 0; v < g.n_local(); ++v) {
-      const auto nbrs = g.neighbors(v);
-      if (nbrs.empty()) continue;
-      nbr_labels.clear();
-      for (const lid_t u : nbrs) nbr_labels.push_back(prev[u]);
-      std::sort(nbr_labels.begin(), nbr_labels.end());
-      // Majority label, ties toward the smaller label (deterministic).
-      gid_t best = prev[v];
-      std::size_t best_count = 0;
-      for (std::size_t i = 0; i < nbr_labels.size();) {
-        std::size_t j = i;
-        while (j < nbr_labels.size() && nbr_labels[j] == nbr_labels[i]) ++j;
-        if (j - i > best_count) {
-          best_count = j - i;
-          best = nbr_labels[i];
-        }
-        i = j;
-      }
-      if (best != result.label[v]) changed = true;
-      result.label[v] = best;
-    }
-    halo.exchange(comm, result.label);
+    halo.overlapped_superstep(comm, result.label,
+                              [&](lid_t v) { relabel(v, changed); });
     prev = result.label;
     ++result.info.supersteps;
     if (!comm.allreduce_or(changed)) break;

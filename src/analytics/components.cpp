@@ -17,24 +17,29 @@ ComponentsResult weakly_connected_components(sim::Comm& comm,
   result.component.resize(g.n_total());
   for (lid_t v = 0; v < g.n_total(); ++v) result.component[v] = g.gid_of(v);
 
+  // Min-label propagation converges to the same fixed point under any
+  // update order, so each superstep updates the boundary vertices
+  // first, ships them (the only values any peer reads) while the
+  // interior computes, and drains the ghost refresh at the end.
+  const auto relax = [&](lid_t v, bool& changed) {
+    gid_t best = result.component[v];
+    // Undirected view: a directed graph's weak components use both
+    // edge directions.
+    for (const lid_t u : g.neighbors(v))
+      best = std::min(best, result.component[u]);
+    if (g.directed())
+      for (const lid_t u : g.in_neighbors(v))
+        best = std::min(best, result.component[u]);
+    if (best < result.component[v]) {
+      result.component[v] = best;
+      changed = true;
+    }
+  };
   bool changed = true;
   while (comm.allreduce_or(changed)) {
     changed = false;
-    for (lid_t v = 0; v < g.n_local(); ++v) {
-      gid_t best = result.component[v];
-      // Undirected view: a directed graph's weak components use both
-      // edge directions.
-      for (const lid_t u : g.neighbors(v))
-        best = std::min(best, result.component[u]);
-      if (g.directed())
-        for (const lid_t u : g.in_neighbors(v))
-          best = std::min(best, result.component[u]);
-      if (best < result.component[v]) {
-        result.component[v] = best;
-        changed = true;
-      }
-    }
-    halo.exchange(comm, result.component);
+    halo.overlapped_superstep(comm, result.component,
+                              [&](lid_t v) { relax(v, changed); });
     ++result.info.supersteps;
   }
 

@@ -8,9 +8,32 @@
 
 namespace xtra::comm {
 
-void Exchanger::exchange_bytes(sim::Comm& comm, const std::byte* send,
-                               std::size_t elem,
-                               const std::vector<count_t>& counts) {
+namespace {
+
+/// Per-destination counts of the record window [lo, hi) of a
+/// destination-grouped send buffer. The buffer is grouped by
+/// destination, so every window's per-destination runs are contiguous
+/// and in destination order — each window is itself a valid alltoallv
+/// send buffer.
+void window_counts(const std::vector<count_t>& offsets, count_t lo,
+                   count_t hi, std::vector<count_t>& out) {
+  const std::size_t nranks = offsets.size() - 1;
+  out.resize(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const count_t a = std::max(lo, offsets[r]);
+    const count_t b = std::min(hi, offsets[r + 1]);
+    out[r] = std::max<count_t>(0, b - a);
+  }
+}
+
+}  // namespace
+
+void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
+                            std::size_t elem,
+                            const std::vector<count_t>& counts,
+                            StartMode mode) {
+  XTRA_ASSERT_MSG(!pending_.active_,
+                  "Exchanger::start while an exchange is in flight");
   Timer t;
   const int nranks = comm.size();
   const int me = comm.rank();
@@ -26,89 +49,133 @@ void Exchanger::exchange_bytes(sim::Comm& comm, const std::byte* send,
       stats_.bytes_sent +=
           counts[static_cast<std::size_t>(r)] * static_cast<count_t>(elem);
 
-  // Agree on a global phase count. Unbounded mode skips the allreduce:
-  // all ranks constructed with max_send_bytes == 0 know the answer.
-  count_t nphases = 1;
-  count_t max_records = total;
-  if (max_send_bytes_ > 0) {
-    max_records =
-        std::max<count_t>(1, max_send_bytes_ / static_cast<count_t>(elem));
-    const count_t local_phases =
-        total == 0 ? 1 : (total + max_records - 1) / max_records;
-    nphases = comm.allreduce_max(local_phases);
-  }
-
-  if (nphases == 1) {
-    recv_total_ = comm.alltoallv_bytes(send, elem, counts, recv_bytes_,
-                                       &rcounts_);
-    ++stats_.phases;
-    stats_.seconds += t.seconds();
-    return;
-  }
-
-  // Phased mode. The send buffer is grouped by destination, so slicing
-  // it into [lo, hi) record windows keeps each window's per-destination
-  // runs contiguous and in destination order — each slice is itself a
-  // valid alltoallv send buffer.
-  send_offsets_.resize(counts.size() + 1);
+  // Stage the in-flight state. A snapshotting start() releases the
+  // caller's buffer here; start_inplace() and the blocking exchange()
+  // alias it instead (their buffers stay valid until the finish half).
+  pending_.elem_ = elem;
+  pending_.total_ = total;
+  pending_.counts_ = counts;
+  pending_.offsets_.resize(counts.size() + 1);
   count_t running = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
-    send_offsets_[i] = running;
+    pending_.offsets_[i] = running;
     running += counts[i];
   }
-  send_offsets_[counts.size()] = running;
-
-  // Learn the final per-source totals up front (one small alltoall),
-  // so every phase's arrivals land directly in their final position:
-  // the receive side peaks at the payload size, never double-buffers.
-  rcounts_ = comm.alltoall(counts);
-  recv_total_ = 0;
-  cursor_.resize(static_cast<std::size_t>(nranks));
-  for (int s = 0; s < nranks; ++s) {
-    cursor_[static_cast<std::size_t>(s)] = recv_total_;
-    recv_total_ += rcounts_[static_cast<std::size_t>(s)];
+  pending_.offsets_[counts.size()] = running;
+  if (mode == StartMode::kSnapshot) {
+    pending_.staging_.resize(static_cast<std::size_t>(total) * elem);
+    if (total > 0)
+      std::memcpy(pending_.staging_.data(), send,
+                  static_cast<std::size_t>(total) * elem);
+    pending_.wire_ = pending_.staging_.data();
+  } else {
+    pending_.wire_ = send;
   }
-  recv_bytes_.resize(static_cast<std::size_t>(recv_total_) * elem);
+  if (mode != StartMode::kBlocking) {
+    ++stats_.overlapped;
+    stats_.max_inflight_bytes =
+        std::max(stats_.max_inflight_bytes,
+                 total * static_cast<count_t>(elem));
+  }
 
-  // Arrivals from source s across phases, concatenated in phase order,
-  // are exactly s's single-alltoallv segment (each phase window
-  // preserves the within-destination record order).
-  phase_counts_.resize(static_cast<std::size_t>(nranks));
-  for (count_t p = 0; p < nphases; ++p) {
-    const count_t lo = std::min(p * max_records, total);
-    const count_t hi = std::min(lo + max_records, total);
-    for (int r = 0; r < nranks; ++r) {
-      const count_t a = std::max(lo, send_offsets_[static_cast<std::size_t>(r)]);
-      const count_t b =
-          std::min(hi, send_offsets_[static_cast<std::size_t>(r) + 1]);
-      phase_counts_[static_cast<std::size_t>(r)] = std::max<count_t>(0, b - a);
-    }
-    (void)comm.alltoallv_bytes(send + static_cast<std::size_t>(lo) * elem,
-                               elem, phase_counts_, phase_bytes_,
-                               &phase_rcounts_);
-    std::size_t pos = 0;
+  // Agree on a global phase count. Unbounded mode skips the allreduce:
+  // all ranks constructed with max_send_bytes == 0 know the answer.
+  pending_.nphases_ = 1;
+  pending_.max_records_ = std::max<count_t>(total, 1);
+  if (max_send_bytes_ > 0) {
+    pending_.max_records_ =
+        std::max<count_t>(1, max_send_bytes_ / static_cast<count_t>(elem));
+    const count_t local_phases =
+        total == 0 ? 1 : (total + pending_.max_records_ - 1) /
+                             pending_.max_records_;
+    pending_.nphases_ = comm.allreduce_max(local_phases);
+  }
+  pending_.phase_ = 0;
+  pending_.active_ = true;
+
+  if (pending_.nphases_ == 1) {
+    // Single-phase: post the whole payload; arrival counts and the
+    // receive buffer are handled by the finish half.
+    (void)comm.alltoallv_bytes_start(pending_.wire_, elem, pending_.counts_);
+  } else {
+    // Phased mode: learn the final per-source totals up front (one
+    // small alltoall), so every phase's arrivals land directly in
+    // their final position — the receive side peaks at the payload
+    // size, never double-buffers. Then post phase 0.
+    rcounts_ = comm.alltoall(pending_.counts_);
+    recv_total_ = 0;
+    cursor_.resize(static_cast<std::size_t>(nranks));
     for (int s = 0; s < nranks; ++s) {
-      const count_t c = phase_rcounts_[static_cast<std::size_t>(s)];
-      if (c == 0) continue;
-      const std::size_t len = static_cast<std::size_t>(c) * elem;
-      std::memcpy(recv_bytes_.data() +
-                      static_cast<std::size_t>(
-                          cursor_[static_cast<std::size_t>(s)]) *
-                          elem,
-                  phase_bytes_.data() + pos, len);
-      cursor_[static_cast<std::size_t>(s)] += c;
-      pos += len;
+      cursor_[static_cast<std::size_t>(s)] = recv_total_;
+      recv_total_ += rcounts_[static_cast<std::size_t>(s)];
     }
-    ++stats_.phases;
+    recv_bytes_.resize(static_cast<std::size_t>(recv_total_) * elem);
+    const count_t hi = std::min(pending_.max_records_, total);
+    window_counts(pending_.offsets_, 0, hi, phase_counts_);
+    (void)comm.alltoallv_bytes_start(pending_.wire_, elem, phase_counts_);
   }
+  const double sec = t.seconds();
+  stats_.seconds += sec;
+  stats_.start_seconds += sec;
+}
+
+void Exchanger::finish_bytes(sim::Comm& comm) {
+  XTRA_ASSERT_MSG(pending_.active_,
+                  "Exchanger::finish without a started exchange");
+  Timer t;
+  const int nranks = comm.size();
+  const std::size_t elem = pending_.elem_;
+
+  if (pending_.nphases_ == 1) {
+    recv_total_ = comm.alltoallv_bytes_finish(recv_bytes_, &rcounts_);
+    ++stats_.phases;
+  } else {
+    // Drain phase p, immediately post phase p+1 so it is in flight
+    // while p's arrivals are scattered into their final positions.
+    const count_t total = pending_.total_;
+    while (pending_.phase_ < pending_.nphases_) {
+      (void)comm.alltoallv_bytes_finish(phase_bytes_, &phase_rcounts_);
+      ++stats_.phases;
+      ++pending_.phase_;
+      if (pending_.phase_ < pending_.nphases_) {
+        const count_t lo =
+            std::min(pending_.phase_ * pending_.max_records_, total);
+        const count_t hi = std::min(lo + pending_.max_records_, total);
+        window_counts(pending_.offsets_, lo, hi, phase_counts_);
+        (void)comm.alltoallv_bytes_start(
+            pending_.wire_ + static_cast<std::size_t>(lo) * elem, elem,
+            phase_counts_);
+      }
+      // Arrivals from source s across phases, concatenated in phase
+      // order, are exactly s's single-alltoallv segment (each phase
+      // window preserves the within-destination record order).
+      std::size_t pos = 0;
+      for (int s = 0; s < nranks; ++s) {
+        const count_t c = phase_rcounts_[static_cast<std::size_t>(s)];
+        if (c == 0) continue;
+        const std::size_t len = static_cast<std::size_t>(c) * elem;
+        std::memcpy(recv_bytes_.data() +
+                        static_cast<std::size_t>(
+                            cursor_[static_cast<std::size_t>(s)]) *
+                            elem,
+                    phase_bytes_.data() + pos, len);
+        cursor_[static_cast<std::size_t>(s)] += c;
+        pos += len;
+      }
+    }
 #ifndef NDEBUG
-  // Every cursor must have advanced to the next source's start.
-  for (int s = 0; s + 1 < nranks; ++s)
-    XTRA_DEBUG_ASSERT(cursor_[static_cast<std::size_t>(s)] ==
-                      cursor_[static_cast<std::size_t>(s + 1)] -
-                          rcounts_[static_cast<std::size_t>(s + 1)]);
+    // Every cursor must have advanced to the next source's start.
+    for (int s = 0; s + 1 < nranks; ++s)
+      XTRA_DEBUG_ASSERT(cursor_[static_cast<std::size_t>(s)] ==
+                        cursor_[static_cast<std::size_t>(s + 1)] -
+                            rcounts_[static_cast<std::size_t>(s + 1)]);
 #endif
-  stats_.seconds += t.seconds();
+  }
+  pending_.active_ = false;
+  pending_.wire_ = nullptr;
+  const double sec = t.seconds();
+  stats_.seconds += sec;
+  stats_.finish_seconds += sec;
 }
 
 }  // namespace xtra::comm

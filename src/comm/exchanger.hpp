@@ -12,16 +12,30 @@
 // source rank, so the result is bit-identical to the single alltoallv
 // for any bound.
 //
+// The exchange is split into explicit start()/finish() halves so a
+// caller can kick off the wire transfer and run local compute before
+// draining it. start() snapshots the caller's payload into the
+// AsyncExchange handle (the caller's buffer is released the moment
+// start() returns) and posts the first phase; finish() drains the
+// in-flight phase, posts the next, and reassembles arrivals. The
+// blocking exchange() is a thin start+finish wrapper (minus the
+// payload snapshot — its caller's buffer is valid throughout), so both
+// paths share one implementation and produce byte-identical results
+// and identical wire accounting. Between start() and finish() any
+// blocking collectives may run, but only one exchange may be in flight
+// per rank (enforced by the substrate).
+//
 // The object owns all wire-side scratch (receive bytes, per-phase
 // counts, reassembly cursors) and reuses it across calls, so a
 // persistent Exchanger makes the per-iteration exchange of
 // label-propagation allocation-free on the send path. It also
 // aggregates ExchangeStats across calls for bench reporting.
 //
-// exchange() is collective (bounded mode agrees on a global phase
-// count with one allreduce); every rank must call it with the same
-// max_send_bytes. Returned spans alias the receive scratch and are
-// valid until the next exchange() on the same object.
+// exchange()/start()/finish() are collective (bounded mode agrees on a
+// global phase count with one allreduce); every rank must call them
+// with the same max_send_bytes. Returned spans alias the receive
+// scratch and are valid until the next exchange()/start() on the same
+// object.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +45,7 @@
 
 #include "comm/dest_buckets.hpp"
 #include "mpisim/comm.hpp"
+#include "util/assert.hpp"
 #include "util/types.hpp"
 
 namespace xtra::comm {
@@ -41,7 +56,42 @@ struct ExchangeStats {
   count_t phases = 0;        ///< alltoallv rounds issued (>= exchanges)
   count_t records_sent = 0;  ///< records staged, incl. self-destined
   count_t bytes_sent = 0;    ///< wire bytes (self-destined data is free)
-  double seconds = 0.0;      ///< wall time inside exchange()
+  double seconds = 0.0;      ///< wall time inside exchange()/start()/finish()
+
+  // Overlap accounting for the split start()/finish() path (blocking
+  // exchange() calls never touch these).
+  count_t overlapped = 0;           ///< exchanges driven via start()/finish()
+  count_t max_inflight_bytes = 0;   ///< peak payload bytes held in flight
+  double start_seconds = 0.0;       ///< wall time inside start()
+  double finish_seconds = 0.0;      ///< wall time inside finish()
+};
+
+/// In-flight state of one started exchange. Owned by the Exchanger;
+/// it holds the snapshot of the caller's send payload (`staging_`),
+/// the per-destination layout, and the cursor of the phase currently
+/// on the wire, so nothing the caller owns needs to survive between
+/// start() and finish().
+class AsyncExchange {
+ public:
+  bool active() const { return active_; }
+  /// Payload bytes currently in flight (total staged send payload).
+  count_t bytes_in_flight() const {
+    return active_ ? total_ * static_cast<count_t>(elem_) : 0;
+  }
+
+ private:
+  friend class Exchanger;
+
+  std::vector<std::byte> staging_;   ///< owned payload snapshot (start())
+  std::vector<count_t> counts_;      ///< per-destination element counts
+  std::vector<count_t> offsets_;     ///< prefix sums of counts_
+  const std::byte* wire_ = nullptr;  ///< payload the phases slice from
+  std::size_t elem_ = 0;             ///< element size in bytes
+  count_t total_ = 0;                ///< total elements staged
+  count_t max_records_ = 0;          ///< per-phase record cap
+  count_t nphases_ = 0;              ///< agreed global phase count
+  count_t phase_ = 0;                ///< phase currently in flight
+  bool active_ = false;
 };
 
 class Exchanger {
@@ -65,8 +115,11 @@ class Exchanger {
                               std::vector<count_t>* recvcounts_out = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "wire records must be trivially copyable");
-    exchange_bytes(comm, reinterpret_cast<const std::byte*>(send), sizeof(T),
-                   counts);
+    // Blocking path: the caller's buffer outlives the call, so the
+    // phases slice it directly — no payload snapshot.
+    start_bytes(comm, reinterpret_cast<const std::byte*>(send), sizeof(T),
+                counts, StartMode::kBlocking);
+    finish_bytes(comm);
     if (recvcounts_out) *recvcounts_out = rcounts_;
     return {reinterpret_cast<const T*>(recv_bytes_.data()),
             static_cast<std::size_t>(recv_total_)};
@@ -87,27 +140,94 @@ class Exchanger {
                     recvcounts_out);
   }
 
+  /// Collective: kick off an exchange and return immediately. The
+  /// payload is snapshotted into the AsyncExchange handle, so `send`
+  /// may be reused or destroyed as soon as this returns. Run local
+  /// compute, then drain with finish<T>(). Only one exchange may be in
+  /// flight per Exchanger (and per rank, substrate-wide).
+  template <typename T>
+  void start(sim::Comm& comm, const T* send,
+             const std::vector<count_t>& counts) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "wire records must be trivially copyable");
+    start_bytes(comm, reinterpret_cast<const std::byte*>(send), sizeof(T),
+                counts, StartMode::kSnapshot);
+  }
+
+  template <typename T>
+  void start(sim::Comm& comm, const std::vector<T>& send,
+             const std::vector<count_t>& counts) {
+    start(comm, send.data(), counts);
+  }
+
+  template <typename T>
+  void start(sim::Comm& comm, const DestBuckets<T>& buckets) {
+    start(comm, buckets.records().data(), buckets.counts());
+  }
+
+  /// start() without the payload snapshot, for callers whose send
+  /// buffer provably stays valid and unmodified until finish<T>()
+  /// returns (a persistent staging buffer or DestBuckets member).
+  /// Saves a full-payload copy per exchange on hot per-superstep
+  /// paths; when in doubt use start().
+  template <typename T>
+  void start_inplace(sim::Comm& comm, const T* send,
+                     const std::vector<count_t>& counts) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "wire records must be trivially copyable");
+    start_bytes(comm, reinterpret_cast<const std::byte*>(send), sizeof(T),
+                counts, StartMode::kAlias);
+  }
+
+  template <typename T>
+  void start_inplace(sim::Comm& comm, const DestBuckets<T>& buckets) {
+    start_inplace(comm, buckets.records().data(), buckets.counts());
+  }
+
+  /// Collective: drain the in-flight exchange started with start<T>().
+  /// T must match the started type. Returns the same grouped-by-source
+  /// span the blocking exchange() would have.
+  template <typename T>
+  std::span<const T> finish(sim::Comm& comm,
+                            std::vector<count_t>* recvcounts_out = nullptr) {
+    XTRA_ASSERT_MSG(pending_.elem_ == sizeof(T),
+                    "finish<T> must match the started element type");
+    finish_bytes(comm);
+    if (recvcounts_out) *recvcounts_out = rcounts_;
+    return {reinterpret_cast<const T*>(recv_bytes_.data()),
+            static_cast<std::size_t>(recv_total_)};
+  }
+
+  bool in_flight() const { return pending_.active(); }
+  const AsyncExchange& pending() const { return pending_; }
+
   const ExchangeStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ExchangeStats{}; }
 
  private:
-  /// Untyped core: runs the (possibly phased) exchange, leaving the
-  /// result in recv_bytes_/recv_total_/rcounts_.
-  void exchange_bytes(sim::Comm& comm, const std::byte* send,
-                      std::size_t elem, const std::vector<count_t>& counts);
+  /// How start_bytes treats the caller's payload: kBlocking and
+  /// kAlias slice it in place (it must outlive the finish half —
+  /// trivially true for the blocking wrapper); kSnapshot copies it
+  /// into the AsyncExchange staging. kAlias and kSnapshot count as
+  /// overlapped exchanges.
+  enum class StartMode { kBlocking, kSnapshot, kAlias };
+
+  /// Untyped first half: stages the payload, agrees on the phase
+  /// count, and posts phase 0.
+  void start_bytes(sim::Comm& comm, const std::byte* send, std::size_t elem,
+                   const std::vector<count_t>& counts, StartMode mode);
+  /// Untyped second half: drains phases (posting each successor),
+  /// leaving the result in recv_bytes_/recv_total_/rcounts_.
+  void finish_bytes(sim::Comm& comm);
 
   count_t max_send_bytes_ = 0;
   ExchangeStats stats_;
+  AsyncExchange pending_;  ///< in-flight state between start and finish
 
   // Wire-side scratch, reused across calls.
   std::vector<std::byte> recv_bytes_;   ///< final grouped-by-source result
   count_t recv_total_ = 0;              ///< elements in recv_bytes_
   std::vector<count_t> rcounts_;        ///< per-source element counts
-
-  // Phased-mode scratch. The receive side never double-buffers: final
-  // per-source totals are exchanged up front (one small alltoall) and
-  // each phase's arrivals are scattered straight into recv_bytes_.
-  std::vector<count_t> send_offsets_;   ///< prefix sums of send counts
   std::vector<count_t> phase_counts_;   ///< per-dest counts, one phase
   std::vector<count_t> phase_rcounts_;  ///< per-source counts, one phase
   std::vector<std::byte> phase_bytes_;  ///< one phase's arrivals

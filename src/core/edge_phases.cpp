@@ -126,8 +126,11 @@ void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
             ratio_weight(static_cast<double>(max_c), st.est_c(best));
       }
     }
-    st.exchanger.run(comm, g, parts, queue);
-    fold_changes(comm, st);
+    st.exchanger.start(comm, g, parts, queue);
+    fold_changes(comm, st);  // overlaps the in-flight update exchange
+    // refresh_cut_sizes reads ghost labels, so the exchange must be
+    // drained first.
+    st.exchanger.finish(comm, g, parts);
     refresh_cut_sizes(comm, g, parts, st);
     ++st.iter_tot;
   }
@@ -190,8 +193,11 @@ void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
         queue.push_back(v);
       }
     }
-    st.exchanger.run(comm, g, parts, queue);
-    fold_changes(comm, st);
+    st.exchanger.start(comm, g, parts, queue);
+    fold_changes(comm, st);  // overlaps the in-flight update exchange
+    // refresh_cut_sizes reads ghost labels, so the exchange must be
+    // drained first.
+    st.exchanger.finish(comm, g, parts);
     refresh_cut_sizes(comm, g, parts, st);
     ++st.iter_tot;
   }

@@ -7,6 +7,13 @@ namespace xtra::core {
 void UpdateExchanger::run(sim::Comm& comm, const graph::DistGraph& g,
                           std::vector<part_t>& parts,
                           const std::vector<lid_t>& queue) {
+  start(comm, g, parts, queue);
+  finish(comm, g, parts);
+}
+
+void UpdateExchanger::start(sim::Comm& comm, const graph::DistGraph& g,
+                            const std::vector<part_t>& parts,
+                            const std::vector<lid_t>& queue) {
   const int me = comm.rank();
 
   // Pass 1 (Alg 3): count records per destination, at most one per
@@ -35,7 +42,14 @@ void UpdateExchanger::run(sim::Comm& comm, const graph::DistGraph& g,
     }
   }
 
-  const std::span<const PartUpdate> recv = ex_.exchange(comm, buckets_);
+  // buckets_ is not touched again until the next start()'s begin(),
+  // safely after the finish — slice it in place, no payload copy.
+  ex_.start_inplace(comm, buckets_);
+}
+
+void UpdateExchanger::finish(sim::Comm& comm, const graph::DistGraph& g,
+                             std::vector<part_t>& parts) {
+  const std::span<const PartUpdate> recv = ex_.finish<PartUpdate>(comm);
 
   // Apply to ghosts. A received gid must be a ghost here: the sender
   // saw one of our owned vertices in its neighborhood, so we see theirs.

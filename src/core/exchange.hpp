@@ -41,8 +41,20 @@ class UpdateExchanger {
   /// Collective. `queue` holds owned local ids whose entry in `parts`
   /// changed; on return the ghost entries of `parts` reflect all
   /// peers' updates. Safe to call with empty queues (still collective).
+  /// A thin start()+finish() wrapper.
   void run(sim::Comm& comm, const graph::DistGraph& g,
            std::vector<part_t>& parts, const std::vector<lid_t>& queue);
+
+  /// Collective halves of run(), for overlapping the wire with local
+  /// work: start() buckets the queued updates and kicks off the
+  /// transfer (parts and queue are released when it returns); local
+  /// compute that does not read ghost labels — e.g. fold_changes'
+  /// allreduce — may run before finish() applies the arrivals.
+  void start(sim::Comm& comm, const graph::DistGraph& g,
+             const std::vector<part_t>& parts,
+             const std::vector<lid_t>& queue);
+  void finish(sim::Comm& comm, const graph::DistGraph& g,
+              std::vector<part_t>& parts);
 
   void set_max_send_bytes(count_t bytes) { ex_.set_max_send_bytes(bytes); }
   const comm::ExchangeStats& stats() const { return ex_.stats(); }

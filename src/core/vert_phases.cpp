@@ -107,8 +107,12 @@ void vert_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
         }
       }
     }
-    st.exchanger.run(comm, g, parts, queue);
+    // Overlap: the update exchange is on the wire while fold_changes'
+    // allreduce runs (it reads only the change counters, never ghost
+    // labels); finish() then applies the arrivals.
+    st.exchanger.start(comm, g, parts, queue);
     fold_changes(comm, st);
+    st.exchanger.finish(comm, g, parts);
     ++st.iter_tot;
   }
 }
@@ -155,8 +159,9 @@ void vert_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
         queue.push_back(v);
       }
     }
-    st.exchanger.run(comm, g, parts, queue);
-    fold_changes(comm, st);
+    st.exchanger.start(comm, g, parts, queue);
+    fold_changes(comm, st);  // overlaps the in-flight update exchange
+    st.exchanger.finish(comm, g, parts);
     ++st.iter_tot;
   }
 }

@@ -1,5 +1,7 @@
 #include "graph/halo.hpp"
 
+#include <algorithm>
+
 #include "comm/dest_buckets.hpp"
 #include "util/assert.hpp"
 
@@ -29,6 +31,17 @@ HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g) {
                     "halo registration for a vertex not owned here");
     send_lids_[i] = l;
   }
+
+  // Boundary classification for the overlapped path: an owned vertex
+  // is boundary iff some peer holds it as a ghost (it appears in
+  // send_lids_, possibly once per destination — dedup here).
+  boundary_mask_.assign(static_cast<std::size_t>(g.n_local()), 0);
+  for (const lid_t l : send_lids_)
+    boundary_mask_[static_cast<std::size_t>(l)] = 1;
+  boundary_lids_.clear();
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    if (boundary_mask_[static_cast<std::size_t>(v)] != 0)
+      boundary_lids_.push_back(v);
 }
 
 }  // namespace xtra::graph

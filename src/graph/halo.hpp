@@ -11,8 +11,24 @@
 // the gathered send values and a comm::Exchanger (optionally
 // memory-bounded via set_max_send_bytes), so per-superstep exchanges
 // reallocate nothing on the send path.
+//
+// Two ways to refresh:
+//  * exchange(comm, vals) — blocking, gather + wire + scatter.
+//  * prefetch_next(comm, vals) / finish_prefetch(comm, vals) — the
+//    overlapped pipeline. prefetch_next gathers the boundary values
+//    (the only ones any peer sees) and starts the wire transfer;
+//    the caller then runs local compute — typically the interior
+//    vertices, which no peer reads — and finish_prefetch scatters the
+//    arrivals into the ghost entries. boundary_lids()/is_boundary()
+//    give the compute-first set: update those, prefetch, update the
+//    rest, finish. vals may be freely mutated between the two calls
+//    (the plan's staging holds the gathered copy); only the ghost
+//    entries are overwritten by finish_prefetch.
+//    overlapped_superstep() packages the whole pipeline for the
+//    common per-vertex-update kernels.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -33,16 +49,58 @@ class HaloPlan {
   /// have size g.n_total() and element type T trivially copyable.
   template <typename T>
   void exchange(sim::Comm& comm, std::vector<T>& vals) {
-    T* send = send_scratch_.as<T>(send_lids_.size());
-    for (std::size_t i = 0; i < send_lids_.size(); ++i)
-      send[i] = vals[send_lids_[i]];
-    const std::span<const T> recv = ex_.exchange(comm, send, send_counts_);
-    XTRA_ASSERT(recv.size() == recv_lids_.size());
-    for (std::size_t i = 0; i < recv_lids_.size(); ++i)
-      vals[recv_lids_[i]] = recv[i];
+    const std::span<const T> recv =
+        ex_.exchange(comm, gather(vals), send_counts_);
+    scatter(recv, vals);
   }
 
+  /// Collective: kick off the next ghost refresh — gather the boundary
+  /// values and start the wire transfer — then return so local compute
+  /// can overlap the in-flight exchange. Any blocking collectives may
+  /// run before finish_prefetch; starting a second exchange may not.
+  template <typename T>
+  void prefetch_next(sim::Comm& comm, const std::vector<T>& vals) {
+    // The plan's own staging holds the gathered copy and is not
+    // touched again until the next gather (after the finish), so the
+    // exchange can slice it in place — no second payload copy.
+    ex_.start_inplace(comm, gather(vals), send_counts_);
+  }
+
+  /// Collective: drain the prefetch started by prefetch_next<T> and
+  /// scatter the arrivals into vals' ghost entries.
+  template <typename T>
+  void finish_prefetch(sim::Comm& comm, std::vector<T>& vals) {
+    scatter(ex_.finish<T>(comm), vals);
+  }
+
+  /// Collective: one overlapped superstep — update(v) over the
+  /// boundary, ship those values, update(v) over the interior while
+  /// the wire drains, scatter the arriving ghosts. The invariant
+  /// (boundary before prefetch, interior before finish) lives here so
+  /// kernels don't open-code it.
+  template <typename T, typename Fn>
+  void overlapped_superstep(sim::Comm& comm, std::vector<T>& vals,
+                            Fn&& update) {
+    for (const lid_t v : boundary_lids_) update(v);
+    prefetch_next(comm, vals);
+    const auto n_local = static_cast<lid_t>(boundary_mask_.size());
+    for (lid_t v = 0; v < n_local; ++v)
+      if (!is_boundary(v)) update(v);  // overlaps the in-flight wire
+    finish_prefetch(comm, vals);
+  }
+
+  bool prefetch_in_flight() const { return ex_.in_flight(); }
+
   count_t ghost_count() const { return static_cast<count_t>(recv_lids_.size()); }
+
+  /// Owned lids some peer holds as a ghost (deduped, ascending): the
+  /// values prefetch_next ships. Compute these before prefetching and
+  /// the interior — every owned lid with is_boundary() false — while
+  /// the wire drains.
+  const std::vector<lid_t>& boundary_lids() const { return boundary_lids_; }
+  bool is_boundary(lid_t owned) const {
+    return boundary_mask_[static_cast<std::size_t>(owned)] != 0;
+  }
 
   /// Cap the per-phase send payload of subsequent exchanges (0 =
   /// unbounded). Same value required on every rank.
@@ -53,9 +111,26 @@ class HaloPlan {
   void reset_stats() { ex_.reset_stats(); }
 
  private:
+  template <typename T>
+  const T* gather(const std::vector<T>& vals) {
+    T* send = send_scratch_.as<T>(send_lids_.size());
+    for (std::size_t i = 0; i < send_lids_.size(); ++i)
+      send[i] = vals[send_lids_[i]];
+    return send;
+  }
+
+  template <typename T>
+  void scatter(std::span<const T> recv, std::vector<T>& vals) {
+    XTRA_ASSERT(recv.size() == recv_lids_.size());
+    for (std::size_t i = 0; i < recv_lids_.size(); ++i)
+      vals[recv_lids_[i]] = recv[i];
+  }
+
   std::vector<count_t> send_counts_;  ///< per destination rank
   std::vector<lid_t> send_lids_;      ///< owned lids, grouped by dest
   std::vector<lid_t> recv_lids_;      ///< ghost lids in arrival order
+  std::vector<lid_t> boundary_lids_;  ///< send_lids_, deduped ascending
+  std::vector<std::uint8_t> boundary_mask_;  ///< per owned lid
   comm::ScratchBuffer send_scratch_;  ///< reused staging for send values
   comm::Exchanger ex_;                ///< persistent wire machinery
 };

@@ -13,7 +13,11 @@
 //
 // Provided collectives (blocking, matching MPI semantics):
 //   barrier, bcast, allreduce(sum/max/min), alltoall, alltoallv,
-//   gatherv, allgatherv, scan-free reductions of scalars.
+//   gatherv, allgatherv, scan-free reductions of scalars;
+// plus a nonblocking alltoallv pair (alltoallv_bytes_start/finish,
+// the MPI_Ialltoallv/MPI_Wait shape) so callers can overlap local
+// compute with an in-flight exchange. Blocking collectives may run
+// between the two halves; at most one exchange is in flight per rank.
 //
 // Every collective accounts the bytes a real MPI rank would put on the
 // wire (self-destined data is free), so benches can report
@@ -61,6 +65,8 @@ class WorldState {
         slots_(static_cast<std::size_t>(nranks)),
         aux_slots_(static_cast<std::size_t>(nranks)),
         size_slots_(static_cast<std::size_t>(nranks), 0),
+        async_slots_(static_cast<std::size_t>(nranks)),
+        async_aux_slots_(static_cast<std::size_t>(nranks)),
         stats_(static_cast<std::size_t>(nranks)) {}
 
   int nranks() const { return nranks_; }
@@ -86,6 +92,12 @@ class WorldState {
   std::size_t& size_slot(int rank) {
     return size_slots_[static_cast<std::size_t>(rank)];
   }
+  const void*& async_slot(int rank) {
+    return async_slots_[static_cast<std::size_t>(rank)];
+  }
+  const void*& async_aux_slot(int rank) {
+    return async_aux_slots_[static_cast<std::size_t>(rank)];
+  }
   CommStats& stats(int rank) { return stats_[static_cast<std::size_t>(rank)]; }
 
  private:
@@ -97,6 +109,11 @@ class WorldState {
   std::vector<const void*> slots_;
   std::vector<const void*> aux_slots_;
   std::vector<std::size_t> size_slots_;
+  // Dedicated slots for the one in-flight nonblocking alltoallv per
+  // rank: a pending alltoallv_bytes_start stays published across any
+  // interleaved blocking collectives (which use the slots above).
+  std::vector<const void*> async_slots_;
+  std::vector<const void*> async_aux_slots_;
   std::vector<CommStats> stats_;
 };
 
@@ -347,6 +364,94 @@ class Comm {
     return total;
   }
 
+  /// Nonblocking half of alltoallv_bytes (MPI_Ialltoallv post). Publishes
+  /// this rank's send buffer and per-destination counts, then returns the
+  /// number of elements that will arrive. `send` must stay valid and
+  /// unmodified until alltoallv_bytes_finish returns (the counts are
+  /// copied internally and need not). At most one exchange may be in
+  /// flight per rank, but any blocking collectives may run between start
+  /// and finish — they use separate publication slots. Collective: every
+  /// rank must interleave starts, finishes, and other collectives in the
+  /// same order.
+  count_t alltoallv_bytes_start(const void* send, std::size_t elem_size,
+                                const std::vector<count_t>& sendcounts) {
+    XTRA_ASSERT_MSG(!async_active_,
+                    "only one nonblocking alltoallv may be in flight");
+    XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
+    Timer t;
+#ifndef NDEBUG
+    count_t send_total = 0;
+    for (const count_t c : sendcounts) send_total += c;
+    XTRA_ASSERT_MSG(send_total == 0 || send != nullptr,
+                    "alltoallv_bytes_start needs a send buffer when counts > 0");
+#endif
+    // Counts are published from rank-owned storage so the caller's
+    // vector is free to be reused while the exchange is in flight.
+    async_counts_ = sendcounts;
+    async_elem_ = elem_size;
+    world_->async_slot(rank_) = send;
+    world_->async_aux_slot(rank_) = async_counts_.data();
+    world_->sync();
+    // Every rank has published; peers keep their slots untouched until
+    // the finish barrier, so arrival counts are already knowable here.
+    async_recvcounts_.resize(static_cast<std::size_t>(size()));
+    async_total_ = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto* counts =
+          static_cast<const count_t*>(world_->async_aux_slot(r));
+      async_recvcounts_[static_cast<std::size_t>(r)] = counts[rank_];
+      async_total_ += counts[rank_];
+    }
+    async_active_ = true;
+    async_seconds_ = t.seconds();
+    return async_total_;
+  }
+
+  /// Blocking half (MPI_Wait): drains the pending exchange into `recv`
+  /// and releases the published buffers. Accounts the pair as a single
+  /// collective. Returns the number of elements received.
+  count_t alltoallv_bytes_finish(std::vector<std::byte>& recv,
+                                 std::vector<count_t>* recvcounts_out =
+                                     nullptr) {
+    XTRA_ASSERT_MSG(async_active_,
+                    "alltoallv_bytes_finish without a pending start");
+    Timer t;
+    recv.resize(static_cast<std::size_t>(async_total_) * async_elem_);
+    std::size_t out = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto* counts =
+          static_cast<const count_t*>(world_->async_aux_slot(r));
+      if (counts[rank_] == 0) continue;
+      count_t offset = 0;
+      for (int q = 0; q < rank_; ++q) offset += counts[q];
+      const auto* src = static_cast<const std::byte*>(world_->async_slot(r)) +
+                        static_cast<std::size_t>(offset) * async_elem_;
+      const std::size_t len =
+          static_cast<std::size_t>(counts[rank_]) * async_elem_;
+      std::memcpy(recv.data() + out, src, len);
+      out += len;
+    }
+    world_->sync();
+
+    count_t bytes = 0;
+    count_t msgs = 0;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      if (async_counts_[static_cast<std::size_t>(r)] > 0) {
+        bytes += async_counts_[static_cast<std::size_t>(r)] *
+                 static_cast<count_t>(async_elem_);
+        ++msgs;
+      }
+    }
+    note_seconds(bytes, msgs, async_seconds_ + t.seconds());
+    async_active_ = false;
+    if (recvcounts_out) *recvcounts_out = async_recvcounts_;
+    return async_total_;
+  }
+
+  /// Whether this rank has a started-but-unfinished alltoallv.
+  bool alltoallv_in_flight() const { return async_active_; }
+
   /// Gather variable-length contributions to `root` (others get {}).
   template <typename T>
   std::vector<T> gatherv(const std::vector<T>& send, int root = 0) {
@@ -422,15 +527,27 @@ class Comm {
 
  private:
   void note(count_t bytes, count_t msgs, const Timer& t) {
+    note_seconds(bytes, msgs, t.seconds());
+  }
+
+  void note_seconds(count_t bytes, count_t msgs, double seconds) {
     CommStats& s = world_->stats(rank_);
     s.bytes_sent += bytes;
     s.messages_sent += msgs;
     s.collectives += 1;
-    s.comm_seconds += t.seconds();
+    s.comm_seconds += seconds;
   }
 
   detail::WorldState* world_;
   int rank_;
+
+  // Pending nonblocking-alltoallv state (one in flight per rank).
+  bool async_active_ = false;
+  std::size_t async_elem_ = 0;
+  count_t async_total_ = 0;
+  double async_seconds_ = 0.0;
+  std::vector<count_t> async_counts_;      ///< published to peers
+  std::vector<count_t> async_recvcounts_;  ///< per-source arrivals
 };
 
 /// Launch `nranks` rank threads, each running fn(comm). Blocks until

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "comm/dest_buckets.hpp"
 #include "util/assert.hpp"
@@ -116,17 +117,23 @@ DistSpmv::DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
   const OwnedIndexer idx(owners, p);
   n_own_ = idx.owned_count[static_cast<std::size_t>(me)];
 
-  // --- x import plan: request each needed column's value from its
-  // owner (once, at setup). ---
+  // --- x import plan: self-owned columns copy locally; every remote
+  // column's value is requested from its owner (once, at setup). ---
   {
     comm::DestBuckets<gid_t> requests;
     requests.begin(p);
-    for (const gid_t v : cols) requests.count(owners[v]);
+    for (const gid_t v : cols)
+      if (owners[v] != me) requests.count(owners[v]);
     requests.commit();
-    x_recv_slot_.resize(cols.size());
+    x_recv_slot_.resize(static_cast<std::size_t>(requests.total()));
     for (const gid_t v : cols) {
-      const count_t slot = requests.push(owners[v], v);
-      x_recv_slot_[static_cast<std::size_t>(slot)] = col_of(v);
+      if (owners[v] == me) {
+        x_self_src_.push_back(idx.index_in_owner[v]);
+        x_self_dst_.push_back(col_of(v));
+      } else {
+        const count_t slot = requests.push(owners[v], v);
+        x_recv_slot_[static_cast<std::size_t>(slot)] = col_of(v);
+      }
     }
     const std::span<const gid_t> incoming =
         ex_.exchange(comm, requests, &x_send_counts_);
@@ -134,6 +141,25 @@ DistSpmv::DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
     for (std::size_t i = 0; i < incoming.size(); ++i) {
       XTRA_ASSERT(owners[incoming[i]] == me);
       x_send_index_[i] = idx.index_in_owner[incoming[i]];
+    }
+  }
+
+  // --- Overlap split: interior rows read only self-owned columns, so
+  // they multiply while the remote x import is in flight. ---
+  {
+    std::vector<std::uint8_t> col_remote(static_cast<std::size_t>(n_cols_), 0);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      if (owners[cols[i]] != me) col_remote[i] = 1;
+    for (count_t r = 0; r < n_rows_; ++r) {
+      bool remote = false;
+      for (count_t i = row_offsets_[static_cast<std::size_t>(r)];
+           i < row_offsets_[static_cast<std::size_t>(r) + 1]; ++i)
+        if (col_remote[static_cast<std::size_t>(
+                col_index_[static_cast<std::size_t>(i)])]) {
+          remote = true;
+          break;
+        }
+      (remote ? rows_boundary_ : rows_interior_).push_back(r);
     }
   }
 
@@ -161,9 +187,11 @@ DistSpmv::DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
 SpmvStats DistSpmv::run(sim::Comm& comm, int iters) {
   SpmvStats stats;
   stats.local_nnz = static_cast<count_t>(col_index_.size());
-  // Remote x values = imports not owned by this rank; count sends to
-  // self as local (no wire traffic) for the reported import size.
-  stats.x_imports = static_cast<count_t>(x_recv_slot_.size());
+  // Remote x values = imports not owned by this rank; count the
+  // locally-copied self columns too (no wire traffic) so the reported
+  // import size stays the full gathered column set.
+  stats.x_imports =
+      static_cast<count_t>(x_recv_slot_.size() + x_self_dst_.size());
 
   const count_t bytes_before = comm.stats().bytes_sent;
   Timer timer;
@@ -175,25 +203,33 @@ SpmvStats DistSpmv::run(sim::Comm& comm, int iters) {
   std::vector<double> xsend(x_send_index_.size());
   std::vector<double> ysend(y_send_row_.size());
 
+  const auto row_mult = [&](count_t r) {
+    double sum = 0.0;
+    for (count_t i = row_offsets_[static_cast<std::size_t>(r)];
+         i < row_offsets_[static_cast<std::size_t>(r) + 1]; ++i)
+      sum += xcol[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])];
+    y_partial[static_cast<std::size_t>(r)] = sum;
+  };
+
   for (int iter = 0; iter < iters; ++iter) {
     // Expand: owners ship x values to every rank holding a matching
-    // column.
+    // remote column. While the import is on the wire, self columns
+    // copy in memory and the interior rows (which read nothing
+    // remote) multiply — the classic overlap of local SpMV work with
+    // the halo import.
     for (std::size_t i = 0; i < x_send_index_.size(); ++i)
       xsend[i] = x[static_cast<std::size_t>(x_send_index_[i])];
-    const std::span<const double> ximp =
-        ex_.exchange(comm, xsend, x_send_counts_);
+    // xsend is untouched until the finish below: in-place, no copy.
+    ex_.start_inplace(comm, xsend.data(), x_send_counts_);
+    for (std::size_t i = 0; i < x_self_dst_.size(); ++i)
+      xcol[static_cast<std::size_t>(x_self_dst_[i])] =
+          x[static_cast<std::size_t>(x_self_src_[i])];
+    for (const count_t r : rows_interior_) row_mult(r);
+    const std::span<const double> ximp = ex_.finish<double>(comm);
     XTRA_ASSERT(ximp.size() == x_recv_slot_.size());
     for (std::size_t i = 0; i < ximp.size(); ++i)
       xcol[static_cast<std::size_t>(x_recv_slot_[i])] = ximp[i];
-
-    // Local multiply.
-    for (count_t r = 0; r < n_rows_; ++r) {
-      double sum = 0.0;
-      for (count_t i = row_offsets_[static_cast<std::size_t>(r)];
-           i < row_offsets_[static_cast<std::size_t>(r) + 1]; ++i)
-        sum += xcol[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])];
-      y_partial[static_cast<std::size_t>(r)] = sum;
-    }
+    for (const count_t r : rows_boundary_) row_mult(r);
 
     // Fold: partials travel to the row owner and accumulate.
     for (std::size_t i = 0; i < y_send_row_.size(); ++i)

@@ -71,9 +71,19 @@ class DistSpmv {
 
   // x import plan: owned x values to send (by local x index, grouped
   // per destination), and where arriving values land in the col array.
+  // Self-owned columns never touch the exchange: they copy through the
+  // x_self_* map while the remote import is in flight.
   std::vector<count_t> x_send_counts_;
   std::vector<count_t> x_send_index_;
   std::vector<count_t> x_recv_slot_;  ///< col-array slot per arrival
+  std::vector<count_t> x_self_src_;   ///< owned-x index per self column
+  std::vector<count_t> x_self_dst_;   ///< col-array slot per self column
+
+  // Overlap split of the local multiply: interior rows touch only
+  // self-owned columns and run while the x import is on the wire;
+  // boundary rows wait for the arrivals.
+  std::vector<count_t> rows_interior_;
+  std::vector<count_t> rows_boundary_;
 
   // y fold plan: local row partials to send (grouped per owner), and
   // accumulation slots for arriving partials.

@@ -166,6 +166,81 @@ TEST_P(PhasedBounds, PhasedResultBitIdenticalToUnbounded) {
   });
 }
 
+TEST_P(PhasedBounds, StartFinishBitIdenticalToBlocking) {
+  const count_t bound = GetParam();
+  const int nranks = 4;
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    // Same ragged payload as the blocking phased test: rank r sends
+    // (r + d) records to destination d.
+    std::vector<count_t> counts(static_cast<std::size_t>(nranks));
+    std::vector<std::uint64_t> send;
+    for (int d = 0; d < nranks; ++d) {
+      counts[static_cast<std::size_t>(d)] = comm.rank() + d;
+      for (count_t i = 0; i < counts[static_cast<std::size_t>(d)]; ++i)
+        send.push_back(static_cast<std::uint64_t>(comm.rank()) * 1'000'000 +
+                       static_cast<std::uint64_t>(d) * 1'000 +
+                       static_cast<std::uint64_t>(i));
+    }
+    std::vector<count_t> expect_rcounts;
+    const std::vector<std::uint64_t> expect =
+        comm.alltoallv(send, counts, &expect_rcounts);
+
+    Exchanger ex(bound);
+    ex.start(comm, send, counts);
+    EXPECT_TRUE(ex.in_flight());
+    EXPECT_EQ(ex.pending().bytes_in_flight(),
+              static_cast<count_t>(send.size() * sizeof(std::uint64_t)));
+    // The handle owns a snapshot: the caller's buffer is dead the
+    // moment start() returns...
+    std::fill(send.begin(), send.end(), 0xDEADBEEFu);
+    send.clear();
+    send.shrink_to_fit();
+    // ...and blocking collectives may run while the exchange (all of
+    // its phases) is still draining.
+    EXPECT_EQ(comm.allreduce_sum<count_t>(1),
+              static_cast<count_t>(nranks));
+    std::vector<count_t> rcounts;
+    const auto got = ex.finish<std::uint64_t>(comm, &rcounts);
+    EXPECT_FALSE(ex.in_flight());
+    EXPECT_EQ(std::vector<std::uint64_t>(got.begin(), got.end()), expect);
+    EXPECT_EQ(rcounts, expect_rcounts);
+    // Identical result for any bound, plus the overlap ledger.
+    EXPECT_EQ(ex.stats().exchanges, 1);
+    EXPECT_EQ(ex.stats().overlapped, 1);
+    EXPECT_GT(ex.stats().start_seconds + ex.stats().finish_seconds, 0.0);
+  });
+}
+
+TEST(Exchanger, SplitAndBlockingAgreeOnStatsAndBytes) {
+  const int nranks = 4;
+  const count_t per_dest = 6;
+  const count_t bound = 2 * sizeof(std::uint64_t);  // forces phases
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    const auto send = staged_payload(comm.rank(), nranks, per_dest);
+    const std::vector<count_t> counts(static_cast<std::size_t>(nranks),
+                                      per_dest);
+    Exchanger blocking(bound);
+    comm.barrier();
+    comm.reset_stats();
+    const auto a = blocking.exchange(comm, send, counts);
+    const std::vector<std::uint64_t> expect(a.begin(), a.end());
+    const count_t blocking_wire = comm.stats().bytes_sent;
+    const count_t blocking_colls = comm.stats().collectives;
+
+    Exchanger split(bound);
+    comm.barrier();
+    comm.reset_stats();
+    split.start(comm, send, counts);
+    const auto b = split.finish<std::uint64_t>(comm);
+    EXPECT_EQ(std::vector<std::uint64_t>(b.begin(), b.end()), expect);
+    // Same wire bytes, same number of collectives: overlap is free.
+    EXPECT_EQ(comm.stats().bytes_sent, blocking_wire);
+    EXPECT_EQ(comm.stats().collectives, blocking_colls);
+    EXPECT_EQ(split.stats().phases, blocking.stats().phases);
+    EXPECT_EQ(split.stats().bytes_sent, blocking.stats().bytes_sent);
+  });
+}
+
 TEST(Exchanger, RepeatedExchangesReuseAndReport) {
   sim::run_world(3, [](sim::Comm& comm) {
     Exchanger ex(16);  // 2 records of 8 bytes per phase
@@ -297,6 +372,93 @@ TEST(BoundedExchange, HaloRefreshIdenticalUnderAnyBound) {
       halo.exchange(comm, vals);
       for (lid_t v = 0; v < g.n_total(); ++v)
         EXPECT_EQ(vals[v], g.gid_of(v) * 3 + 1);
+    });
+  }
+}
+
+TEST(BoundedExchange, HaloPrefetchInterleavedIdenticalUnderAnyBound) {
+  // The overlapped prefetch pipeline — boundary compute, prefetch,
+  // interior compute (mutating vals mid-flight), collectives in
+  // between, finish — must leave vals exactly as the blocking
+  // exchange would, for unbounded and multi-phase bounds alike.
+  const graph::EdgeList el = gen::erdos_renyi(500, 8, 11);
+  for (const count_t bound : {count_t(0), count_t(8), count_t(64),
+                              count_t(1) << 20}) {
+    sim::run_world(3, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, 3, 5));
+      graph::HaloPlan blocking_halo(comm, g);
+      graph::HaloPlan overlap_halo(comm, g);
+      blocking_halo.set_max_send_bytes(bound);
+      overlap_halo.set_max_send_bytes(bound);
+      // Meter only the replayed exchanges, not the constructor's
+      // (blocking) registration round.
+      overlap_halo.reset_stats();
+
+      std::vector<gid_t> expect(g.n_total());
+      std::vector<gid_t> vals(g.n_total());
+      for (lid_t v = 0; v < g.n_total(); ++v)
+        expect[v] = vals[v] = g.gid_of(v);
+
+      for (int iter = 1; iter <= 3; ++iter) {
+        // Reference superstep: update every owned value, then refresh.
+        for (lid_t v = 0; v < g.n_local(); ++v)
+          expect[v] = expect[v] * 7 + static_cast<gid_t>(iter);
+        blocking_halo.exchange(comm, expect);
+
+        // Overlapped superstep: boundary first, ship, interior while
+        // the wire drains (with an interleaved allreduce), finish.
+        for (const lid_t v : overlap_halo.boundary_lids())
+          vals[v] = vals[v] * 7 + static_cast<gid_t>(iter);
+        overlap_halo.prefetch_next(comm, vals);
+        EXPECT_TRUE(overlap_halo.prefetch_in_flight());
+        for (lid_t v = 0; v < g.n_local(); ++v)
+          if (!overlap_halo.is_boundary(v))
+            vals[v] = vals[v] * 7 + static_cast<gid_t>(iter);
+        (void)comm.allreduce_sum<count_t>(1);
+        overlap_halo.finish_prefetch(comm, vals);
+        EXPECT_FALSE(overlap_halo.prefetch_in_flight());
+
+        ASSERT_EQ(vals, expect) << "bound=" << bound << " iter=" << iter;
+      }
+      EXPECT_EQ(overlap_halo.stats().overlapped,
+                overlap_halo.stats().exchanges);
+    });
+  }
+}
+
+TEST(BoundedExchange, UpdateExchangerSplitMatchesRun) {
+  // start(); <unrelated allreduce>; finish() must apply exactly the
+  // ghost updates run() would, including when the queue is empty on
+  // some ranks and the exchange is multi-phase.
+  const graph::EdgeList el = gen::erdos_renyi(400, 10, 17);
+  for (const count_t bound : {count_t(0), count_t(sizeof(core::PartUpdate)),
+                              count_t(1) << 16}) {
+    sim::run_world(3, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::block(el.n, 3));
+      core::UpdateExchanger run_ex(bound);
+      core::UpdateExchanger split_ex(bound);
+      std::vector<part_t> run_parts(g.n_total(), 0);
+      std::vector<part_t> split_parts(g.n_total(), 0);
+      for (int it = 0; it < 3; ++it) {
+        std::vector<lid_t> queue;
+        // Rank 2 sits out every other iteration (still collective).
+        if (!(comm.rank() == 2 && it % 2 == 1))
+          for (lid_t v = 0; v < g.n_local(); v += 2) {
+            run_parts[v] = split_parts[v] =
+                static_cast<part_t>((v + static_cast<lid_t>(it)) % 5);
+            queue.push_back(v);
+          }
+        run_ex.run(comm, g, run_parts, queue);
+
+        split_ex.start(comm, g, split_parts, queue);
+        (void)comm.allreduce_sum<count_t>(1);  // overlapped local work
+        split_ex.finish(comm, g, split_parts);
+
+        ASSERT_EQ(split_parts, run_parts) << "bound=" << bound
+                                          << " iter=" << it;
+      }
     });
   }
 }

@@ -3,6 +3,7 @@
 // transfers unchanged.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 
@@ -194,6 +195,72 @@ TEST_P(WorldSizes, GlobalBytesSumsRanks) {
         static_cast<count_t>((n - 1) * 2 * sizeof(std::uint32_t));
     EXPECT_EQ(comm.global_bytes_sent(),
               expected_per_rank * static_cast<count_t>(n));
+  });
+}
+
+TEST_P(WorldSizes, NonblockingAlltoallvMatchesBlocking) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    // Ragged payload: rank r sends (r + d + 1) values to destination d.
+    std::vector<count_t> counts(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> send;
+    for (int d = 0; d < n; ++d) {
+      counts[static_cast<std::size_t>(d)] =
+          static_cast<count_t>(comm.rank() + d + 1);
+      for (count_t i = 0; i < counts[static_cast<std::size_t>(d)]; ++i)
+        send.push_back(static_cast<std::uint64_t>(comm.rank()) * 1'000 +
+                       static_cast<std::uint64_t>(i));
+    }
+    std::vector<count_t> expect_rcounts;
+    std::vector<std::byte> expect;
+    const count_t expect_total = comm.alltoallv_bytes(
+        send.data(), sizeof(std::uint64_t), counts, expect, &expect_rcounts);
+
+    EXPECT_FALSE(comm.alltoallv_in_flight());
+    const count_t announced = comm.alltoallv_bytes_start(
+        send.data(), sizeof(std::uint64_t), counts);
+    EXPECT_TRUE(comm.alltoallv_in_flight());
+    EXPECT_EQ(announced, expect_total);
+    // Blocking collectives may run while the exchange is in flight —
+    // they use separate publication slots.
+    EXPECT_EQ(comm.allreduce_sum<count_t>(1), static_cast<count_t>(n));
+    (void)comm.alltoall(std::vector<count_t>(
+        static_cast<std::size_t>(n), static_cast<count_t>(comm.rank())));
+    std::vector<count_t> rcounts;
+    std::vector<std::byte> recv;
+    const count_t total = comm.alltoallv_bytes_finish(recv, &rcounts);
+    EXPECT_FALSE(comm.alltoallv_in_flight());
+    EXPECT_EQ(total, expect_total);
+    EXPECT_EQ(rcounts, expect_rcounts);
+    EXPECT_EQ(recv, expect);
+  });
+}
+
+TEST_P(WorldSizes, NonblockingAlltoallvBillsLikeBlocking) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    const std::vector<count_t> counts(static_cast<std::size_t>(n), 3);
+    const std::vector<std::uint64_t> send(3 * static_cast<std::size_t>(n), 7);
+    std::vector<std::byte> recv;
+
+    comm.barrier();
+    comm.reset_stats();
+    (void)comm.alltoallv_bytes(send.data(), sizeof(std::uint64_t), counts,
+                               recv);
+    const CommStats blocking = comm.stats();
+
+    comm.barrier();
+    comm.reset_stats();
+    (void)comm.alltoallv_bytes_start(send.data(), sizeof(std::uint64_t),
+                                     counts);
+    (void)comm.alltoallv_bytes_finish(recv);
+    const CommStats split = comm.stats();
+
+    // The start/finish pair is one logical collective with the same
+    // wire traffic as the blocking call.
+    EXPECT_EQ(split.bytes_sent, blocking.bytes_sent);
+    EXPECT_EQ(split.messages_sent, blocking.messages_sent);
+    EXPECT_EQ(split.collectives, blocking.collectives);
   });
 }
 
