@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "comm/coalescing.hpp"
 #include "core/exchange.hpp"
 #include "gen/generators.hpp"
 #include "graph/dist_graph.hpp"
@@ -35,6 +36,14 @@ struct CommRow {
   double bytes_per_iter = 0.0;        ///< wire bytes, summed over ranks
   double collectives_per_iter = 0.0;  ///< collective invocations (world)
   double phases_per_iter = 0.0;       ///< alltoallv rounds per exchange
+  // Topology ledger (world-summed engine stats): where the payload
+  // bytes landed relative to the node grouping, and how many
+  // point-to-point segments crossed nodes — the metric the
+  // hierarchical exchange exists to shrink.
+  double inter_node_bytes_per_iter = 0.0;
+  double intra_node_bytes_per_iter = 0.0;
+  double inter_node_msgs_per_iter = 0.0;
+  count_t coalesced_flushes = 0;  ///< CoalescingExchanger flushes (total)
   // Overlap accounting (rank 0's engine; timings are informational,
   // the baseline check compares only bytes and collectives).
   double overlapped_frac = 0.0;     ///< start/finish-driven exchanges
@@ -52,6 +61,21 @@ void note_overlap(CommRow& row, const xtra::comm::ExchangeStats& s) {
   row.start_seconds = s.start_seconds;
   row.finish_seconds = s.finish_seconds;
   row.max_inflight_bytes = s.max_inflight_bytes;
+}
+
+/// World-sum one engine's topology ledger into a row. Collective —
+/// every rank must call it (only rank 0 writes the row).
+void note_topology(CommRow& row, sim::Comm& comm,
+                   const xtra::comm::ExchangeStats& s, int iters) {
+  std::vector<count_t> v{s.inter_node_bytes, s.intra_node_bytes,
+                         s.inter_node_msgs, s.coalesced_flushes};
+  comm.allreduce_sum(v);
+  if (comm.rank() == 0) {
+    row.inter_node_bytes_per_iter = static_cast<double>(v[0]) / iters;
+    row.intra_node_bytes_per_iter = static_cast<double>(v[1]) / iters;
+    row.inter_node_msgs_per_iter = static_cast<double>(v[2]) / iters;
+    row.coalesced_flushes = v[3];
+  }
 }
 
 std::map<std::string, CommRow>& comm_rows() {
@@ -123,6 +147,7 @@ void BM_ExchangeUpdatesBounded(benchmark::State& state) {
         exchanger.run(comm, g, parts, queue);
       }
       const sim::CommStats world = comm.world_stats();
+      note_topology(row, comm, exchanger.stats(), kIters);
       if (comm.rank() == 0) {
         row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
         row.collectives_per_iter =
@@ -167,6 +192,7 @@ void BM_HaloExchangeBounded(benchmark::State& state) {
       comm.reset_stats();
       for (int i = 0; i < kIters; ++i) halo.exchange(comm, vals);
       const sim::CommStats world = comm.world_stats();
+      note_topology(row, comm, halo.stats(), kIters);
       if (comm.rank() == 0) {
         row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
         row.collectives_per_iter =
@@ -212,6 +238,7 @@ void BM_HaloPrefetchOverlap(benchmark::State& state) {
         halo.overlapped_superstep(comm, vals,
                                   [&](lid_t v) { vals[v] += 1.0; });
       const sim::CommStats world = comm.world_stats();
+      note_topology(row, comm, halo.stats(), kIters);
       if (comm.rank() == 0) {
         row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
         row.collectives_per_iter =
@@ -233,6 +260,121 @@ BENCHMARK(BM_HaloPrefetchOverlap)
     ->Args({8, 0})
     ->Args({16, 0});
 
+/// Flat vs hierarchical routing of the label-propagation exchange on
+/// a 4-ranks-per-node topology, at the rank counts where per-message
+/// overhead starts to dominate (16/32/64). Both policies run the same
+/// workload; the check script requires the hierarchical rows to move
+/// strictly fewer inter-node messages than their flat twins. The
+/// graph is smaller than BM_ExchangeUpdatesBounded's so the 64-rank
+/// rows keep the CI gate fast.
+void BM_ShardedUpdates(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const int rpn = static_cast<int>(state.range(1));
+  const auto bound = static_cast<count_t>(state.range(2));
+  const bool hier = state.range(3) != 0;
+  constexpr int kIters = 4;
+  const graph::EdgeList el = gen::erdos_renyi(6'000, 12, 3);
+  CommRow row{hier ? "sharded_updates_hier" : "sharded_updates_flat",
+              nranks, bound};
+  for (auto _ : state) {
+    sim::run_world(
+        nranks,
+        [&](sim::Comm& comm) {
+          const auto g = graph::build_dist_graph(
+              comm, el, graph::VertexDist::random(el.n, nranks, 3));
+          core::UpdateExchanger exchanger(bound);
+          if (hier)
+            exchanger.set_shard_policy(
+                xtra::comm::ShardPolicy::kHierarchical);
+          std::vector<part_t> parts(g.n_total(), 0);
+          std::vector<lid_t> queue(g.n_local());
+          for (lid_t v = 0; v < g.n_local(); ++v) queue[v] = v;
+          comm.barrier();
+          comm.reset_stats();
+          for (int it = 0; it < kIters; ++it) {
+            for (lid_t v = 0; v < g.n_local(); ++v)
+              parts[v] =
+                  static_cast<part_t>((v + static_cast<lid_t>(it)) % 8);
+            exchanger.run(comm, g, parts, queue);
+          }
+          const sim::CommStats world = comm.world_stats();
+          note_topology(row, comm, exchanger.stats(), kIters);
+          if (comm.rank() == 0) {
+            row.bytes_per_iter =
+                static_cast<double>(world.bytes_sent) / kIters;
+            row.collectives_per_iter =
+                static_cast<double>(world.collectives) / kIters;
+            note_overlap(row, exchanger.stats());
+          }
+        },
+        rpn);
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["inter_msgs/iter"] = row.inter_node_msgs_per_iter;
+  state.counters["inter_bytes/iter"] = row.inter_node_bytes_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_ShardedUpdates)
+    ->Args({16, 4, 1 << 16, 0})
+    ->Args({16, 4, 1 << 16, 1})
+    ->Args({32, 4, 1 << 16, 0})
+    ->Args({32, 4, 1 << 16, 1})
+    ->Args({64, 4, 1 << 16, 0})
+    ->Args({64, 4, 1 << 16, 1});
+
+/// Cross-superstep coalescing: many supersteps of tiny per-destination
+/// runs, shipped per round (uncoalesced) vs batched by a
+/// CoalescingExchanger until a byte threshold. Collectives per round
+/// drop by the batching factor; total payload bytes are identical.
+void BM_CoalescedRounds(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const bool coalesce = state.range(1) != 0;
+  constexpr int kRounds = 16;
+  constexpr count_t kPerDest = 2;  // tiny runs: overhead-dominated
+  const int rpn = 4;
+  CommRow row{coalesce ? "coalesced_rounds" : "uncoalesced_rounds",
+              nranks, 0};
+  for (auto _ : state) {
+    sim::run_world(
+        nranks,
+        [&](sim::Comm& comm) {
+          const std::vector<count_t> counts(
+              static_cast<std::size_t>(nranks), kPerDest);
+          std::vector<std::uint64_t> send(
+              static_cast<std::size_t>(nranks) * kPerDest,
+              static_cast<std::uint64_t>(comm.rank()));
+          comm.barrier();
+          comm.reset_stats();
+          xtra::comm::Exchanger plain;
+          // Flush roughly every 4 rounds.
+          xtra::comm::CoalescingExchanger co(4 * kPerDest * nranks *
+                                             sizeof(std::uint64_t));
+          for (int r = 0; r < kRounds; ++r) {
+            if (coalesce)
+              (void)co.enqueue(comm, send, counts);
+            else
+              (void)plain.exchange(comm, send, counts);
+          }
+          if (coalesce) (void)co.flush<std::uint64_t>(comm);
+          const sim::CommStats world = comm.world_stats();
+          note_topology(row, comm,
+                        coalesce ? co.stats() : plain.stats(), kRounds);
+          if (comm.rank() == 0) {
+            row.bytes_per_iter =
+                static_cast<double>(world.bytes_sent) / kRounds;
+            row.collectives_per_iter =
+                static_cast<double>(world.collectives) / kRounds;
+            note_overlap(row, coalesce ? co.stats() : plain.stats());
+          }
+        },
+        rpn);
+  }
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  state.counters["flushes"] = static_cast<double>(row.coalesced_flushes);
+  record_row(row);
+}
+BENCHMARK(BM_CoalescedRounds)->Args({16, 0})->Args({16, 1});
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,12 +391,19 @@ int main(int argc, char** argv) {
     std::printf(
         "%s  {\"bench\": \"%s\", \"nranks\": %d, \"max_send_bytes\": %lld, "
         "\"bytes_per_iter\": %.1f, \"collectives_per_iter\": %.2f, "
-        "\"phases_per_exchange\": %.2f, \"overlapped_frac\": %.2f, "
+        "\"phases_per_exchange\": %.2f, "
+        "\"inter_node_bytes_per_iter\": %.1f, "
+        "\"intra_node_bytes_per_iter\": %.1f, "
+        "\"inter_node_msgs_per_iter\": %.2f, "
+        "\"coalesced_flushes\": %lld, \"overlapped_frac\": %.2f, "
         "\"start_seconds\": %.4f, \"finish_seconds\": %.4f, "
         "\"max_inflight_bytes\": %lld}",
         first ? "" : ",\n", r.bench.c_str(), r.nranks,
         static_cast<long long>(r.max_send_bytes), r.bytes_per_iter,
-        r.collectives_per_iter, r.phases_per_iter, r.overlapped_frac,
+        r.collectives_per_iter, r.phases_per_iter,
+        r.inter_node_bytes_per_iter, r.intra_node_bytes_per_iter,
+        r.inter_node_msgs_per_iter,
+        static_cast<long long>(r.coalesced_flushes), r.overlapped_frac,
         r.start_seconds, r.finish_seconds,
         static_cast<long long>(r.max_inflight_bytes));
     first = false;

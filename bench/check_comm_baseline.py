@@ -3,12 +3,19 @@
 
 Runs bench_micro_exchange, parses its COMM_STATS_JSON block, and diffs
 it against the checked-in baseline (bench/baselines/comm_stats.json).
-A row regresses when bytes_per_iter or collectives_per_iter grows more
-than --tolerance (default 10%) over the baseline; a baseline row
-missing from the current run is also a failure (a silently dropped
-sweep is how regressions hide). Timing fields are informational and
-never compared. New rows are reported and otherwise ignored — add them
-to the baseline with --update.
+A row regresses when bytes_per_iter, collectives_per_iter, or
+inter_node_bytes_per_iter grows more than --tolerance (default 10%)
+over the baseline; a baseline row missing from the current run is also
+a failure (a silently dropped sweep is how regressions hide). Timing
+fields are informational and never compared. New rows are reported and
+otherwise ignored — add them to the baseline with --update (rows are
+written sorted by (bench, nranks, max_send_bytes) so refreshes diff
+cleanly).
+
+The hierarchical exchange additionally carries an absolute contract:
+for every (nranks >= 16) sharded_updates pair, the hierarchical row
+must move strictly fewer inter-node messages per iteration than its
+flat twin — that coalescing is the point of the two-level routing.
 
 Usage:
   python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
@@ -21,16 +28,32 @@ import subprocess
 import sys
 
 BASELINE = pathlib.Path(__file__).parent / "baselines" / "comm_stats.json"
-COMPARED = ("bytes_per_iter", "collectives_per_iter")
+COMPARED = ("bytes_per_iter", "collectives_per_iter",
+            "inter_node_bytes_per_iter")
+HIER_PAIRS = ("sharded_updates_hier", "sharded_updates_flat")
+HIER_MIN_RANKS = 16
 
 
 def run_bench(bench, min_time):
-    cmd = [bench, f"--benchmark_min_time={min_time}"]
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        sys.stderr.write(proc.stdout + proc.stderr)
+    # Newer google-benchmark releases require a unit suffix on
+    # --benchmark_min_time ("0.01s"); older ones reject it. Try the
+    # given spelling first, then the other form.
+    variants = [min_time]
+    variants.append(min_time[:-1] if min_time.endswith("s")
+                    else min_time + "s")
+    for i, mt in enumerate(variants):
+        cmd = [bench, f"--benchmark_min_time={mt}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode == 0:
+            return proc.stdout
+        # Only retry the other spelling for a flag-parse rejection; a
+        # real bench failure should surface immediately, not after a
+        # second full sweep.
+        blob = proc.stdout + proc.stderr
+        if i + 1 < len(variants) and "min_time" in blob:
+            continue
+        sys.stderr.write(blob)
         sys.exit(f"bench exited with {proc.returncode}: {' '.join(cmd)}")
-    return proc.stdout
 
 
 def parse_rows(stdout):
@@ -45,19 +68,49 @@ def key_of(row):
     return (row["bench"], row["nranks"], row["max_send_bytes"])
 
 
+def check_hier_contract(current):
+    """Hierarchical rows must beat their flat twins on inter-node
+    messages at every swept rank count >= HIER_MIN_RANKS."""
+    failures = []
+    hier_name, flat_name = HIER_PAIRS
+    pairs = 0
+    for key, hier in current.items():
+        if key[0] != hier_name or key[1] < HIER_MIN_RANKS:
+            continue
+        flat = current.get((flat_name, key[1], key[2]))
+        if flat is None:
+            failures.append(f"{key}: no flat twin row to compare against")
+            continue
+        pairs += 1
+        h, f = (r.get("inter_node_msgs_per_iter", 0.0)
+                for r in (hier, flat))
+        if not h < f:
+            failures.append(
+                f"{key}: inter_node_msgs_per_iter {h:.1f} not strictly "
+                f"below flat twin's {f:.1f}")
+    if pairs == 0:
+        failures.append(
+            f"no ({hier_name}, {flat_name}) pairs at nranks >= "
+            f"{HIER_MIN_RANKS} in the current run")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
                     help="path to the bench_micro_exchange binary")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional growth per compared metric")
-    ap.add_argument("--min-time", default="0.01",
-                    help="--benchmark_min_time passed to the bench")
+    ap.add_argument("--min-time", default="0.01s",
+                    help="--benchmark_min_time passed to the bench "
+                         "(unit-suffixed; the suffixless spelling is "
+                         "retried automatically for older releases)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the current run")
     args = ap.parse_args()
 
-    rows = parse_rows(run_bench(args.bench, args.min_time))
+    rows = sorted(parse_rows(run_bench(args.bench, args.min_time)),
+                  key=key_of)
     current = {key_of(r): r for r in rows}
 
     if args.update:
@@ -74,13 +127,17 @@ def main():
             failures.append(f"{key}: row missing from current run")
             continue
         for metric in COMPARED:
+            if metric not in base:
+                continue  # pre-ledger baseline row: nothing to compare
             allowed = base[metric] * (1.0 + args.tolerance)
-            if got[metric] > allowed:
+            if got.get(metric, 0.0) > allowed:
                 failures.append(
                     f"{key}: {metric} {got[metric]:.1f} > baseline "
                     f"{base[metric]:.1f} (+{args.tolerance:.0%} allowed)")
     for key in sorted(set(current) - set(baseline)):
         print(f"note: new row not in baseline: {key}")
+
+    failures += check_hier_contract(current)
 
     if failures:
         print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
@@ -88,7 +145,7 @@ def main():
             print(f"  {f}")
         sys.exit(1)
     print(f"comm baseline check passed: {len(baseline)} rows within "
-          f"{args.tolerance:.0%}")
+          f"{args.tolerance:.0%}, hierarchical inter-node contract held")
 
 
 if __name__ == "__main__":

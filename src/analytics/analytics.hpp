@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "comm/shard_policy.hpp"
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
 
@@ -32,26 +33,29 @@ struct PageRankResult {
 PageRankResult pagerank(sim::Comm& comm, const graph::DistGraph& g,
                         int iters = 20, double damping = 0.85);
 
-/// Weakly connected components (WCC) via min-label hooking.
+/// Weakly connected components (WCC) via min-label hooking. `policy`
+/// routes the per-superstep ghost refresh flat or hierarchically
+/// (identical results either way).
 struct ComponentsResult {
   RunInfo info;
   std::vector<gid_t> component;  ///< size n_total, component root gid
   count_t num_components = 0;
   count_t largest_size = 0;
 };
-ComponentsResult weakly_connected_components(sim::Comm& comm,
-                                             const graph::DistGraph& g);
+ComponentsResult weakly_connected_components(
+    sim::Comm& comm, const graph::DistGraph& g,
+    comm::ShardPolicy policy = comm::ShardPolicy::kFlat);
 
 /// Label-propagation community detection (LP): `sweeps` synchronous
-/// majority-label rounds.
+/// majority-label rounds. `policy` as for WCC.
 struct CommunityResult {
   RunInfo info;
   std::vector<gid_t> label;  ///< size n_total
   count_t num_communities = 0;
 };
-CommunityResult label_propagation(sim::Comm& comm,
-                                  const graph::DistGraph& g,
-                                  int sweeps = 10);
+CommunityResult label_propagation(
+    sim::Comm& comm, const graph::DistGraph& g, int sweeps = 10,
+    comm::ShardPolicy policy = comm::ShardPolicy::kFlat);
 
 /// Approximate k-core decomposition (KC): iterated neighborhood
 /// h-index (Lü et al.), which converges to the exact coreness;

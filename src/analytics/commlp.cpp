@@ -10,10 +10,11 @@
 namespace xtra::analytics {
 
 CommunityResult label_propagation(sim::Comm& comm,
-                                  const graph::DistGraph& g, int sweeps) {
+                                  const graph::DistGraph& g, int sweeps,
+                                  comm::ShardPolicy policy) {
   CommunityResult result;
   detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g, policy);
 
   result.label.resize(g.n_total());
   for (lid_t v = 0; v < g.n_total(); ++v) result.label[v] = g.gid_of(v);
@@ -70,7 +71,7 @@ CommunityResult label_propagation(sim::Comm& comm,
       comm.size(), distinct,
       [&g](const gid_t l) { return g.owner_of_gid(l); },
       [](const gid_t l) { return l; });
-  comm::Exchanger ex;
+  comm::Exchanger ex(0, policy);
   const std::span<const gid_t> arrivals = ex.exchange(comm, buckets);
   std::vector<gid_t> recv(arrivals.begin(), arrivals.end());
   std::sort(recv.begin(), recv.end());

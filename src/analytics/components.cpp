@@ -9,10 +9,11 @@
 namespace xtra::analytics {
 
 ComponentsResult weakly_connected_components(sim::Comm& comm,
-                                             const graph::DistGraph& g) {
+                                             const graph::DistGraph& g,
+                                             comm::ShardPolicy policy) {
   ComponentsResult result;
   detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g);
+  graph::HaloPlan halo(comm, g, policy);
 
   result.component.resize(g.n_total());
   for (lid_t v = 0; v < g.n_total(); ++v) result.component[v] = g.gid_of(v);
@@ -68,7 +69,7 @@ ComponentsResult weakly_connected_components(sim::Comm& comm,
       comm.size(), local,
       [&g](const RootCount& rc) { return g.owner_of_gid(rc.root); },
       [](const RootCount& rc) { return rc; });
-  comm::Exchanger ex;
+  comm::Exchanger ex(0, policy);
   const std::span<const RootCount> arrivals = ex.exchange(comm, buckets);
   std::vector<RootCount> recv(arrivals.begin(), arrivals.end());
   std::sort(recv.begin(), recv.end(),

@@ -36,14 +36,26 @@
 // with the same max_send_bytes. Returned spans alias the receive
 // scratch and are valid until the next exchange()/start() on the same
 // object.
+//
+// With ShardPolicy::kHierarchical the exchange is routed over the
+// node topology sim::Comm exposes: records for co-located
+// destinations travel directly (node-local), and all inter-node
+// records funnel through the node leaders — one coalesced
+// leader-to-leader message per destination node per phase — before a
+// node-local scatter delivers them. Results are bit-identical to the
+// flat path for any max_send_bytes; the win is fewer (larger)
+// inter-node messages, visible in ExchangeStats' inter_node_msgs /
+// inter_node_bytes / intra_node_bytes ledger.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "comm/dest_buckets.hpp"
+#include "comm/shard_policy.hpp"
 #include "mpisim/comm.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
@@ -53,10 +65,23 @@ namespace xtra::comm {
 /// Aggregated accounting over every exchange() on one Exchanger.
 struct ExchangeStats {
   count_t exchanges = 0;     ///< logical exchange() calls
-  count_t phases = 0;        ///< alltoallv rounds issued (>= exchanges)
+  count_t phases = 0;        ///< alltoallv rounds issued
   count_t records_sent = 0;  ///< records staged, incl. self-destined
   count_t bytes_sent = 0;    ///< wire bytes (self-destined data is free)
   double seconds = 0.0;      ///< wall time inside exchange()/start()/finish()
+
+  // Topology accounting: where the payload bytes landed relative to
+  // the node grouping (sim::Comm::node_of). Message counts are per
+  // phase per destination with data, matching the substrate's
+  // messages_sent; the hierarchical policy exists to shrink
+  // inter_node_msgs without changing results.
+  count_t inter_node_bytes = 0;  ///< payload bytes crossing nodes
+  count_t intra_node_bytes = 0;  ///< payload bytes between co-located ranks
+  count_t inter_node_msgs = 0;   ///< point-to-point segments crossing nodes
+
+  /// Cross-superstep flushes performed by a CoalescingExchanger that
+  /// owns this engine (plain exchanges never touch it).
+  count_t coalesced_flushes = 0;
 
   // Overlap accounting for the split start()/finish() path (blocking
   // exchange() calls never touch these).
@@ -98,12 +123,26 @@ class Exchanger {
  public:
   /// max_send_bytes == 0 means unbounded (one alltoallv per exchange);
   /// a positive bound caps each phase's send payload (always admitting
-  /// at least one record per phase). Same value required on all ranks.
-  explicit Exchanger(count_t max_send_bytes = 0)
-      : max_send_bytes_(max_send_bytes) {}
+  /// at least one record per phase — a bound smaller than one record
+  /// clamps to sizeof(T), never to a zero-progress phase plan). Same
+  /// value required on all ranks.
+  explicit Exchanger(count_t max_send_bytes = 0,
+                     ShardPolicy policy = ShardPolicy::kFlat);
+  ~Exchanger();
+  Exchanger(Exchanger&&) noexcept;
+  Exchanger& operator=(Exchanger&&) noexcept;
 
   count_t max_send_bytes() const { return max_send_bytes_; }
   void set_max_send_bytes(count_t bytes) { max_send_bytes_ = bytes; }
+
+  ShardPolicy shard_policy() const { return policy_; }
+  /// Switch routing policy; results are bit-identical either way. Same
+  /// value required on all ranks; may not change mid-flight.
+  void set_shard_policy(ShardPolicy policy) {
+    XTRA_ASSERT_MSG(!pending_.active(),
+                    "cannot change shard policy mid-exchange");
+    policy_ = policy;
+  }
 
   /// Exchange `counts[r]` records per destination rank r, laid out
   /// contiguously in destination order starting at `send`. Returns the
@@ -205,12 +244,16 @@ class Exchanger {
   void reset_stats() { stats_ = ExchangeStats{}; }
 
  private:
+  friend class CoalescingExchanger;
+
   /// How start_bytes treats the caller's payload: kBlocking and
   /// kAlias slice it in place (it must outlive the finish half —
   /// trivially true for the blocking wrapper); kSnapshot copies it
   /// into the AsyncExchange staging. kAlias and kSnapshot count as
   /// overlapped exchanges.
   enum class StartMode { kBlocking, kSnapshot, kAlias };
+
+  struct Hier;  ///< hierarchical-routing state (sub-exchanges, layouts)
 
   /// Untyped first half: stages the payload, agrees on the phase
   /// count, and posts phase 0.
@@ -220,9 +263,25 @@ class Exchanger {
   /// leaving the result in recv_bytes_/recv_total_/rcounts_.
   void finish_bytes(sim::Comm& comm);
 
+  // Hierarchical halves (policy == kHierarchical): three flat
+  // sub-exchanges — intra-node gather, leader alltoallv, intra-node
+  // scatter — reassembled into the same grouped-by-source result.
+  // All payload modes behave alike here: the round-1 staging copy
+  // releases the caller's buffer during start regardless.
+  void start_hier(sim::Comm& comm, const std::byte* send, std::size_t elem,
+                  const std::vector<count_t>& counts, count_t total);
+  void finish_hier(sim::Comm& comm);
+
+  /// Topology ledger for one posted phase: splits the payload into
+  /// inter-/intra-node bytes and counts inter-node segments.
+  void account_phase(sim::Comm& comm, const std::vector<count_t>& counts,
+                     std::size_t elem);
+
   count_t max_send_bytes_ = 0;
+  ShardPolicy policy_ = ShardPolicy::kFlat;
   ExchangeStats stats_;
   AsyncExchange pending_;  ///< in-flight state between start and finish
+  bool hier_inflight_ = false;  ///< pending exchange uses the hier path
 
   // Wire-side scratch, reused across calls.
   std::vector<std::byte> recv_bytes_;   ///< final grouped-by-source result
@@ -232,6 +291,7 @@ class Exchanger {
   std::vector<count_t> phase_rcounts_;  ///< per-source counts, one phase
   std::vector<std::byte> phase_bytes_;  ///< one phase's arrivals
   std::vector<count_t> cursor_;         ///< reassembly write positions
+  std::unique_ptr<Hier> hier_;          ///< lazily built on first hier use
 };
 
 }  // namespace xtra::comm

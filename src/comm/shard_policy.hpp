@@ -1,0 +1,20 @@
+// How an Exchanger routes records between ranks. Split out of
+// exchanger.hpp so configuration surfaces (core::Params, the
+// analytics entry points) can name the policy without pulling in the
+// whole exchange machinery.
+#pragma once
+
+namespace xtra::comm {
+
+enum class ShardPolicy {
+  /// One alltoallv among all ranks per phase (the paper's baseline).
+  kFlat,
+  /// Two-level, topology-aware routing: node-local gather to the node
+  /// leader, one coalesced leader-to-leader alltoallv per phase for
+  /// all inter-node traffic, node-local scatter to the final
+  /// destinations. Bit-identical results to kFlat for any
+  /// max_send_bytes; fewer (larger) inter-node messages.
+  kHierarchical,
+};
+
+}  // namespace xtra::comm

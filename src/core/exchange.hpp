@@ -57,6 +57,9 @@ class UpdateExchanger {
               std::vector<part_t>& parts);
 
   void set_max_send_bytes(count_t bytes) { ex_.set_max_send_bytes(bytes); }
+  void set_shard_policy(comm::ShardPolicy policy) {
+    ex_.set_shard_policy(policy);
+  }
   const comm::ExchangeStats& stats() const { return ex_.stats(); }
   void reset_stats() { ex_.reset_stats(); }
 

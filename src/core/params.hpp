@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/shard_policy.hpp"
 #include "util/types.hpp"
 
 namespace xtra::core {
@@ -50,6 +51,13 @@ struct Params {
   /// paper's memory-bounded multi-phase communication; results are
   /// bit-identical for any value.
   count_t max_exchange_bytes = 0;
+
+  /// Routing of the ghost-update exchange: flat alltoallv, or the
+  /// two-level node-aware path (node-local gather, coalesced
+  /// leader-to-leader alltoallv, node-local scatter). Results are
+  /// bit-identical; hierarchical trades extra node-local hops for
+  /// fewer inter-node messages. Same value required on every rank.
+  comm::ShardPolicy shard_policy = comm::ShardPolicy::kFlat;
 
   std::uint64_t seed = 1;
 };

@@ -7,7 +7,9 @@
 
 namespace xtra::graph {
 
-HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g) {
+HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g,
+                   comm::ShardPolicy policy) {
+  ex_.set_shard_policy(policy);
   // Ghosts register with their owners: send each ghost gid to its
   // owner; arrival order on the owner defines the send order, and the
   // order we sent defines our receive order. The exchange preserves

@@ -42,8 +42,11 @@ namespace xtra::graph {
 
 class HaloPlan {
  public:
-  /// Collective: ghosts register with their owners once.
-  HaloPlan(sim::Comm& comm, const DistGraph& g);
+  /// Collective: ghosts register with their owners once. `policy`
+  /// selects flat or hierarchical routing for the registration and
+  /// every subsequent exchange (bit-identical results either way).
+  HaloPlan(sim::Comm& comm, const DistGraph& g,
+           comm::ShardPolicy policy = comm::ShardPolicy::kFlat);
 
   /// Collective: copy vals[owned] into every ghost copy; vals must
   /// have size g.n_total() and element type T trivially copyable.
@@ -105,6 +108,11 @@ class HaloPlan {
   /// Cap the per-phase send payload of subsequent exchanges (0 =
   /// unbounded). Same value required on every rank.
   void set_max_send_bytes(count_t bytes) { ex_.set_max_send_bytes(bytes); }
+  /// Route subsequent exchanges flat or hierarchically (same value on
+  /// every rank; results are bit-identical either way).
+  void set_shard_policy(comm::ShardPolicy policy) {
+    ex_.set_shard_policy(policy);
+  }
   const comm::ExchangeStats& stats() const { return ex_.stats(); }
   /// Drop accumulated stats (e.g. the constructor's registration
   /// exchange) so benches can meter only the replayed exchanges.

@@ -6,10 +6,11 @@
 
 namespace xtra::sim {
 
-void run_world(int nranks, const std::function<void(Comm&)>& fn) {
+void run_world(int nranks, const std::function<void(Comm&)>& fn,
+               int ranks_per_node) {
   XTRA_ASSERT_MSG(nranks >= 1, "world needs at least one rank");
 
-  detail::WorldState world(nranks);
+  detail::WorldState world(nranks, ranks_per_node);
   std::exception_ptr first_error;
   std::mutex error_mutex;
 

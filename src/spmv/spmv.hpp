@@ -45,9 +45,12 @@ class DistSpmv {
   /// Collective. `owners[v]` in [0, comm.size()) assigns vector entry
   /// v (and, under 1D, matrix row v) to a rank — derive it from a
   /// partition to measure that partition's SpMV behaviour. The edge
-  /// list must be undirected; duplicates merge.
+  /// list must be undirected; duplicates merge. `policy` routes the
+  /// setup round trips, the per-iteration x import, and the y fold
+  /// flat or hierarchically (identical results either way).
   DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
-           const std::vector<int>& owners, Layout layout);
+           const std::vector<int>& owners, Layout layout,
+           comm::ShardPolicy policy = comm::ShardPolicy::kFlat);
 
   /// Collective: run `iters` multiply+normalize steps.
   SpmvStats run(sim::Comm& comm, int iters);

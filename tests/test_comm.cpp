@@ -11,6 +11,8 @@
 #include <numeric>
 #include <vector>
 
+#include "analytics/analytics.hpp"
+#include "comm/coalescing.hpp"
 #include "comm/dest_buckets.hpp"
 #include "comm/exchanger.hpp"
 #include "comm/query_reply.hpp"
@@ -20,6 +22,7 @@
 #include "graph/dist_graph.hpp"
 #include "graph/halo.hpp"
 #include "mpisim/comm.hpp"
+#include "spmv/spmv.hpp"
 
 namespace xtra {
 namespace {
@@ -323,6 +326,355 @@ TEST(Comm, WorldStatsSumsEveryRank) {
 }
 
 // ---------------------------------------------------------------------------
+// Exchange edge cases: sub-record bounds and all-empty rounds
+
+TEST(Exchanger, SubRecordBoundClampsToOneRecordPerPhase) {
+  // A max_send_bytes smaller than one record must clamp to exactly one
+  // record per phase — progress every phase, never a degenerate plan.
+  const int nranks = 3;
+  const count_t per_dest = 2;
+  for (const count_t bound : {count_t(1), count_t(3), count_t(7)}) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto send = staged_payload(comm.rank(), nranks, per_dest);
+      const std::vector<count_t> counts(static_cast<std::size_t>(nranks),
+                                        per_dest);
+      const std::vector<std::uint64_t> expect = comm.alltoallv(send, counts);
+      Exchanger ex(bound);
+      const auto got = ex.exchange(comm, send, counts);
+      EXPECT_EQ(std::vector<std::uint64_t>(got.begin(), got.end()), expect);
+      // One record per phase: the phase count equals the largest
+      // per-rank record total.
+      EXPECT_EQ(ex.stats().phases,
+                static_cast<count_t>(nranks) * per_dest);
+      EXPECT_EQ(ex.stats().exchanges, 1);
+    });
+  }
+}
+
+TEST(Exchanger, AllEmptyBoundedExchangeSkipsTheWire) {
+  // When every rank stages zero records, the bounded path already pays
+  // one allreduce to agree on phases — it must learn "nothing anywhere"
+  // from it and skip the payload collectives entirely, with identical
+  // accounting on the blocking and start/finish paths.
+  const int nranks = 4;
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    const std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+    const std::vector<std::uint64_t> send;
+
+    Exchanger blocking(64);
+    comm.barrier();
+    comm.reset_stats();
+    std::vector<count_t> rcounts;
+    const auto got = blocking.exchange(comm, send, counts, &rcounts);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(rcounts, counts);
+    EXPECT_EQ(blocking.stats().exchanges, 1);
+    EXPECT_EQ(blocking.stats().phases, 0);
+    // Exactly the phase-agreement allreduce hit the substrate — no
+    // alltoallv was posted.
+    EXPECT_EQ(comm.stats().collectives, 1);
+    EXPECT_EQ(comm.stats().bytes_sent,
+              static_cast<count_t>(sizeof(count_t)));
+
+    Exchanger split(64);
+    split.start(comm, send, counts);
+    (void)comm.allreduce_sum<count_t>(1);
+    const auto got2 = split.finish<std::uint64_t>(comm, &rcounts);
+    EXPECT_TRUE(got2.empty());
+    EXPECT_EQ(rcounts, counts);
+    EXPECT_EQ(split.stats().phases, blocking.stats().phases);
+    EXPECT_EQ(split.stats().exchanges, blocking.stats().exchanges);
+
+    // Unbounded mode has no collective to agree with, so it still
+    // posts its single (empty) alltoallv — pin that contract too.
+    Exchanger unbounded;
+    (void)unbounded.exchange(comm, send, counts);
+    EXPECT_EQ(unbounded.stats().phases, 1);
+  });
+}
+
+TEST(Exchanger, EmptyRoundsInterleaveWithNonEmptyOnes) {
+  // Ranks alternate between staging work and staging nothing; the
+  // all-empty skip must only trigger when *every* rank is empty.
+  const int nranks = 3;
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    Exchanger ex(16);
+    for (int round = 0; round < 4; ++round) {
+      const bool all_empty = round == 2;
+      std::vector<count_t> counts(static_cast<std::size_t>(nranks), 0);
+      std::vector<std::uint64_t> send;
+      if (!all_empty && comm.rank() != round % nranks) {
+        for (int d = 0; d < nranks; ++d) {
+          counts[static_cast<std::size_t>(d)] = 3;
+          for (int i = 0; i < 3; ++i)
+            send.push_back(static_cast<std::uint64_t>(100 * round + i));
+        }
+      }
+      const std::vector<std::uint64_t> expect = comm.alltoallv(send, counts);
+      const auto got = ex.exchange(comm, send, counts);
+      ASSERT_EQ(std::vector<std::uint64_t>(got.begin(), got.end()), expect)
+          << "round=" << round;
+    }
+    EXPECT_EQ(ex.stats().exchanges, 4);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical (node-aware) exchange
+
+/// Deterministic per-(source, dest) record counts with some zero runs.
+count_t ragged_count(int src, int dst, int salt) {
+  const unsigned h = static_cast<unsigned>(src * 7919 + dst * 104729 +
+                                           salt * 1299721);
+  return static_cast<count_t>((h >> 3) % 5);  // 0..4 records
+}
+
+struct HierCase {
+  int nranks;
+  int ranks_per_node;
+};
+
+class HierWorlds : public ::testing::TestWithParam<HierCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, HierWorlds,
+    ::testing::Values(HierCase{4, 1}, HierCase{4, 2}, HierCase{8, 3},
+                      HierCase{8, 4}, HierCase{16, 4}, HierCase{16, 16}),
+    [](const auto& info) {
+      return "ranks_" + std::to_string(info.param.nranks) + "_rpn_" +
+             std::to_string(info.param.ranks_per_node);
+    });
+
+TEST_P(HierWorlds, HierarchicalBitIdenticalToFlatUnderAnyBound) {
+  const auto [nranks, rpn] = GetParam();
+  // Adversarial bounds: sub-record, one record, a bound that splits
+  // inside the leaders' coalesced per-destination runs (3 records),
+  // an odd mid-size, and effectively unbounded.
+  for (const count_t bound :
+       {count_t(0), count_t(1), count_t(8), count_t(24), count_t(40),
+        count_t(1) << 20}) {
+    sim::run_world(
+        nranks,
+        [&](sim::Comm& comm) {
+          std::vector<count_t> counts(static_cast<std::size_t>(nranks));
+          std::vector<std::uint64_t> send;
+          for (int d = 0; d < nranks; ++d) {
+            counts[static_cast<std::size_t>(d)] =
+                ragged_count(comm.rank(), d, static_cast<int>(bound % 97));
+            for (count_t i = 0; i < counts[static_cast<std::size_t>(d)]; ++i)
+              send.push_back(static_cast<std::uint64_t>(comm.rank()) *
+                                 1'000'000 +
+                             static_cast<std::uint64_t>(d) * 1'000 +
+                             static_cast<std::uint64_t>(i));
+          }
+          std::vector<count_t> expect_rcounts;
+          const std::vector<std::uint64_t> expect =
+              comm.alltoallv(send, counts, &expect_rcounts);
+
+          Exchanger ex(bound, comm::ShardPolicy::kHierarchical);
+          std::vector<count_t> rcounts;
+          const auto got = ex.exchange(comm, send, counts, &rcounts);
+          ASSERT_EQ(std::vector<std::uint64_t>(got.begin(), got.end()),
+                    expect)
+              << "bound=" << bound;
+          EXPECT_EQ(rcounts, expect_rcounts);
+          EXPECT_EQ(ex.stats().exchanges, 1);
+        },
+        rpn);
+  }
+}
+
+TEST_P(HierWorlds, HierarchicalStartFinishSurvivesBufferDestruction) {
+  const auto [nranks, rpn] = GetParam();
+  for (const count_t bound : {count_t(0), count_t(8), count_t(64)}) {
+    sim::run_world(
+        nranks,
+        [&](sim::Comm& comm) {
+          std::vector<count_t> counts(static_cast<std::size_t>(nranks));
+          std::vector<std::uint64_t> send;
+          for (int d = 0; d < nranks; ++d) {
+            counts[static_cast<std::size_t>(d)] =
+                ragged_count(comm.rank(), d, 7);
+            for (count_t i = 0; i < counts[static_cast<std::size_t>(d)]; ++i)
+              send.push_back(static_cast<std::uint64_t>(comm.rank()) *
+                                 1'000'000 +
+                             static_cast<std::uint64_t>(d) * 1'000 +
+                             static_cast<std::uint64_t>(i));
+          }
+          std::vector<count_t> expect_rcounts;
+          const std::vector<std::uint64_t> expect =
+              comm.alltoallv(send, counts, &expect_rcounts);
+
+          Exchanger ex(bound, comm::ShardPolicy::kHierarchical);
+          ex.start(comm, send, counts);
+          EXPECT_TRUE(ex.in_flight());
+          // The hierarchical start copies the payload into its own
+          // round-1 staging: the caller's buffer is dead immediately,
+          // and blocking collectives may interleave mid-flight.
+          std::fill(send.begin(), send.end(), 0xDEADBEEFu);
+          send.clear();
+          send.shrink_to_fit();
+          EXPECT_EQ(comm.allreduce_sum<count_t>(1),
+                    static_cast<count_t>(nranks));
+          std::vector<count_t> rcounts;
+          const auto got = ex.finish<std::uint64_t>(comm, &rcounts);
+          EXPECT_FALSE(ex.in_flight());
+          ASSERT_EQ(std::vector<std::uint64_t>(got.begin(), got.end()),
+                    expect)
+              << "bound=" << bound;
+          EXPECT_EQ(rcounts, expect_rcounts);
+          EXPECT_EQ(ex.stats().overlapped, 1);
+        },
+        rpn);
+  }
+}
+
+TEST(HierarchicalExchange, FewerInterNodeMessagesSameInterNodeBytes) {
+  // 8 ranks in 2 nodes of 4, everyone sending to everyone: the flat
+  // path ships one message per off-node peer per rank, the
+  // hierarchical path exactly one leader-to-leader message per node
+  // pair — same payload bytes crossing nodes, far fewer messages.
+  const int nranks = 8;
+  const count_t per_dest = 5;
+  std::vector<count_t> flat_msgs(nranks), hier_msgs(nranks);
+  std::vector<count_t> flat_inter(nranks), hier_inter(nranks);
+  sim::run_world(
+      nranks,
+      [&](sim::Comm& comm) {
+        const auto send = staged_payload(comm.rank(), nranks, per_dest);
+        const std::vector<count_t> counts(static_cast<std::size_t>(nranks),
+                                          per_dest);
+        Exchanger flat(0, comm::ShardPolicy::kFlat);
+        Exchanger hier(0, comm::ShardPolicy::kHierarchical);
+        const auto a = flat.exchange(comm, send, counts);
+        const std::vector<std::uint64_t> expect(a.begin(), a.end());
+        const auto b = hier.exchange(comm, send, counts);
+        EXPECT_EQ(std::vector<std::uint64_t>(b.begin(), b.end()), expect);
+
+        const auto me = static_cast<std::size_t>(comm.rank());
+        flat_msgs[me] = flat.stats().inter_node_msgs;
+        hier_msgs[me] = hier.stats().inter_node_msgs;
+        flat_inter[me] = flat.stats().inter_node_bytes;
+        hier_inter[me] = hier.stats().inter_node_bytes;
+        // Ledger sanity: inter + intra must cover all wire bytes.
+        EXPECT_EQ(flat.stats().inter_node_bytes +
+                      flat.stats().intra_node_bytes,
+                  flat.stats().bytes_sent);
+        EXPECT_EQ(hier.stats().inter_node_bytes +
+                      hier.stats().intra_node_bytes,
+                  hier.stats().bytes_sent);
+      },
+      4);
+  const auto sum = [](const std::vector<count_t>& v) {
+    return std::accumulate(v.begin(), v.end(), count_t(0));
+  };
+  // Every record crossing a node boundary crosses it exactly once on
+  // either path; the hierarchical routing only merges the envelopes.
+  EXPECT_EQ(sum(hier_inter), sum(flat_inter));
+  // Flat: 8 ranks x 4 off-node peers; hierarchical: 2 leaders x 1.
+  EXPECT_EQ(sum(flat_msgs), 32);
+  EXPECT_EQ(sum(hier_msgs), 2);
+}
+
+TEST(HierarchicalExchange, AllEmptyAndSingleNodeDegenerate) {
+  sim::run_world(
+      6,
+      [](sim::Comm& comm) {
+        // All-empty: no wire rounds at all, on any policy.
+        Exchanger hier(32, comm::ShardPolicy::kHierarchical);
+        const std::vector<count_t> zero(6, 0);
+        const std::vector<std::uint64_t> none;
+        const auto got = hier.exchange(comm, none, zero);
+        EXPECT_TRUE(got.empty());
+        EXPECT_EQ(hier.stats().phases, 0);
+
+        // Single node (all six ranks co-located): the leader rounds
+        // vanish and nothing crosses a node boundary.
+        const std::vector<count_t> counts(6, 2);
+        const auto send = staged_payload(comm.rank(), 6, 2);
+        const std::vector<std::uint64_t> expect =
+            comm.alltoallv(send, counts);
+        const auto got2 = hier.exchange(comm, send, counts);
+        EXPECT_EQ(std::vector<std::uint64_t>(got2.begin(), got2.end()),
+                  expect);
+        EXPECT_EQ(hier.stats().inter_node_bytes, 0);
+        EXPECT_EQ(hier.stats().inter_node_msgs, 0);
+      },
+      8);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-superstep coalescing
+
+TEST(CoalescingExchanger, BatchesRoundsUntilThresholdThenFlushes) {
+  const int nranks = 4;
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    // One 8-byte record per destination per round = 32 pending bytes
+    // per round; threshold 64 flushes on the second enqueue.
+    comm::CoalescingExchanger co(64);
+    const std::vector<count_t> counts(static_cast<std::size_t>(nranks), 1);
+    auto round_payload = [&](int round) {
+      std::vector<std::uint64_t> send;
+      for (int d = 0; d < nranks; ++d)
+        send.push_back(static_cast<std::uint64_t>(comm.rank()) * 1'000'000 +
+                       static_cast<std::uint64_t>(d) * 1'000 +
+                       static_cast<std::uint64_t>(round));
+      return send;
+    };
+
+    const auto r1 = co.enqueue(comm, round_payload(1), counts);
+    EXPECT_FALSE(r1.has_value());
+    EXPECT_EQ(co.pending_rounds(), 1);
+    EXPECT_EQ(co.pending_bytes(), 32);
+
+    const auto r2 = co.enqueue(comm, round_payload(2), counts);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(co.pending_bytes(), 0);
+    EXPECT_EQ(co.stats().coalesced_flushes, 1);
+    // Arrivals are grouped by source; within a source, rounds appear
+    // in enqueue order.
+    ASSERT_EQ(r2->size(), static_cast<std::size_t>(2 * nranks));
+    for (int s = 0; s < nranks; ++s)
+      for (int round = 1; round <= 2; ++round)
+        EXPECT_EQ((*r2)[static_cast<std::size_t>(s * 2 + round - 1)],
+                  static_cast<std::uint64_t>(s) * 1'000'000 +
+                      static_cast<std::uint64_t>(comm.rank()) * 1'000 +
+                      static_cast<std::uint64_t>(round));
+
+    // Explicit flush drains a partial batch (still collective).
+    (void)co.enqueue(comm, round_payload(3), counts);
+    std::vector<count_t> rcounts;
+    const auto r3 = co.flush<std::uint64_t>(comm, &rcounts);
+    ASSERT_EQ(r3.size(), static_cast<std::size_t>(nranks));
+    EXPECT_EQ(rcounts,
+              std::vector<count_t>(static_cast<std::size_t>(nranks), 1));
+    EXPECT_EQ(co.stats().coalesced_flushes, 2);
+    // The wire saw two exchanges for three logical rounds.
+    EXPECT_EQ(co.stats().exchanges, 2);
+  });
+}
+
+TEST(CoalescingExchanger, HierarchicalPolicyAppliesToFlushes) {
+  sim::run_world(
+      8,
+      [](sim::Comm& comm) {
+        comm::CoalescingExchanger co(0, 0,
+                                     comm::ShardPolicy::kHierarchical);
+        const std::vector<count_t> counts(8, 2);
+        const auto send = staged_payload(comm.rank(), 8, 2);
+        const std::vector<std::uint64_t> expect =
+            comm.alltoallv(send, counts);
+        EXPECT_FALSE(co.enqueue(comm, send, counts).has_value());
+        const auto got = co.flush<std::uint64_t>(comm);
+        EXPECT_EQ(std::vector<std::uint64_t>(got.begin(), got.end()),
+                  expect);
+        // Two nodes of four: at most one leader-to-leader message.
+        EXPECT_LE(co.stats().inter_node_msgs, 1);
+      },
+      4);
+}
+
+// ---------------------------------------------------------------------------
 // Query/reply round trip
 
 TEST(QueryReply, RepliesAlignWithQueries) {
@@ -461,6 +813,149 @@ TEST(BoundedExchange, UpdateExchangerSplitMatchesRun) {
       }
     });
   }
+}
+
+TEST(HierarchicalCallers, HaloPrefetchIdenticalUnderHierRouting) {
+  // The overlapped halo pipeline, rerouted hierarchically, must leave
+  // vals exactly as the flat blocking exchange would — including
+  // multi-phase bounds and mid-flight mutation of vals.
+  const graph::EdgeList el = gen::erdos_renyi(400, 8, 29);
+  for (const count_t bound : {count_t(0), count_t(8), count_t(1) << 14}) {
+    sim::run_world(
+        6,
+        [&](sim::Comm& comm) {
+          const auto g = graph::build_dist_graph(
+              comm, el, graph::VertexDist::random(el.n, 6, 5));
+          graph::HaloPlan flat_halo(comm, g);
+          graph::HaloPlan hier_halo(comm, g,
+                                    comm::ShardPolicy::kHierarchical);
+          flat_halo.set_max_send_bytes(bound);
+          hier_halo.set_max_send_bytes(bound);
+
+          std::vector<gid_t> expect(g.n_total());
+          std::vector<gid_t> vals(g.n_total());
+          for (lid_t v = 0; v < g.n_total(); ++v)
+            expect[v] = vals[v] = g.gid_of(v);
+          for (int iter = 1; iter <= 3; ++iter) {
+            for (lid_t v = 0; v < g.n_local(); ++v)
+              expect[v] = expect[v] * 5 + static_cast<gid_t>(iter);
+            flat_halo.exchange(comm, expect);
+
+            for (const lid_t v : hier_halo.boundary_lids())
+              vals[v] = vals[v] * 5 + static_cast<gid_t>(iter);
+            hier_halo.prefetch_next(comm, vals);
+            for (lid_t v = 0; v < g.n_local(); ++v)
+              if (!hier_halo.is_boundary(v))
+                vals[v] = vals[v] * 5 + static_cast<gid_t>(iter);
+            (void)comm.allreduce_sum<count_t>(1);
+            hier_halo.finish_prefetch(comm, vals);
+            ASSERT_EQ(vals, expect) << "bound=" << bound
+                                    << " iter=" << iter;
+          }
+        },
+        3);
+  }
+}
+
+TEST(HierarchicalCallers, UpdateExchangerIdenticalUnderHierRouting) {
+  const graph::EdgeList el = gen::erdos_renyi(300, 10, 31);
+  for (const count_t bound : {count_t(0), count_t(sizeof(core::PartUpdate)),
+                              count_t(1) << 12}) {
+    sim::run_world(
+        6,
+        [&](sim::Comm& comm) {
+          const auto g = graph::build_dist_graph(
+              comm, el, graph::VertexDist::block(el.n, 6));
+          core::UpdateExchanger flat_ex(bound);
+          core::UpdateExchanger hier_ex(bound);
+          hier_ex.set_shard_policy(comm::ShardPolicy::kHierarchical);
+          std::vector<part_t> flat_parts(g.n_total(), 0);
+          std::vector<part_t> hier_parts(g.n_total(), 0);
+          for (int it = 0; it < 3; ++it) {
+            std::vector<lid_t> queue;
+            if (!(comm.rank() % 2 == 0 && it == 1))
+              for (lid_t v = 0; v < g.n_local(); v += 3) {
+                flat_parts[v] = hier_parts[v] =
+                    static_cast<part_t>((v + static_cast<lid_t>(it)) % 4);
+                queue.push_back(v);
+              }
+            flat_ex.run(comm, g, flat_parts, queue);
+            hier_ex.start(comm, g, hier_parts, queue);
+            (void)comm.allreduce_sum<count_t>(1);
+            hier_ex.finish(comm, g, hier_parts);
+            ASSERT_EQ(hier_parts, flat_parts) << "bound=" << bound
+                                              << " iter=" << it;
+          }
+        },
+        2);
+  }
+}
+
+TEST(HierarchicalCallers, AnalyticsAndSpmvIdenticalUnderHierRouting) {
+  const graph::EdgeList el = gen::erdos_renyi(350, 7, 41);
+  sim::run_world(
+      6,
+      [&](sim::Comm& comm) {
+        const auto g = graph::build_dist_graph(
+            comm, el, graph::VertexDist::block(el.n, 6));
+        const auto wcc_flat = analytics::weakly_connected_components(
+            comm, g, comm::ShardPolicy::kFlat);
+        const auto wcc_hier = analytics::weakly_connected_components(
+            comm, g, comm::ShardPolicy::kHierarchical);
+        EXPECT_EQ(wcc_hier.component, wcc_flat.component);
+        EXPECT_EQ(wcc_hier.num_components, wcc_flat.num_components);
+
+        const auto lp_flat = analytics::label_propagation(
+            comm, g, 4, comm::ShardPolicy::kFlat);
+        const auto lp_hier = analytics::label_propagation(
+            comm, g, 4, comm::ShardPolicy::kHierarchical);
+        EXPECT_EQ(lp_hier.label, lp_flat.label);
+        EXPECT_EQ(lp_hier.num_communities, lp_flat.num_communities);
+
+        std::vector<int> owners(el.n);
+        for (gid_t v = 0; v < el.n; ++v)
+          owners[v] = static_cast<int>(v % 6);
+        spmv::DistSpmv flat_spmv(comm, el, owners, spmv::Layout::kOneD);
+        spmv::DistSpmv hier_spmv(comm, el, owners, spmv::Layout::kOneD,
+                                 comm::ShardPolicy::kHierarchical);
+        const auto sf = flat_spmv.run(comm, 5);
+        const auto sh = hier_spmv.run(comm, 5);
+        // Same arrival grouping and order => bit-identical doubles.
+        EXPECT_EQ(sh.checksum, sf.checksum);
+      },
+      3);
+}
+
+TEST(HierarchicalCallers, PartitionBitIdenticalUnderShardPolicy) {
+  const graph::EdgeList el = gen::erdos_renyi(300, 6, 23);
+  core::Params params;
+  params.nparts = 4;
+  params.outer_iters = 1;
+
+  auto run = [&](comm::ShardPolicy policy, count_t bound) {
+    params.shard_policy = policy;
+    params.max_exchange_bytes = bound;
+    std::vector<part_t> global;
+    sim::run_world(
+        6,
+        [&](sim::Comm& comm) {
+          const auto g = graph::build_dist_graph(
+              comm, el, graph::VertexDist::block(el.n, 6));
+          const auto r = core::partition(comm, g, params);
+          const auto gp = core::gather_global_parts(comm, g, r.parts);
+          if (comm.rank() == 0) global = gp;
+        },
+        2);
+    return global;
+  };
+
+  const std::vector<part_t> flat = run(comm::ShardPolicy::kFlat, 0);
+  ASSERT_EQ(flat.size(), el.n);
+  EXPECT_EQ(run(comm::ShardPolicy::kHierarchical, 0), flat);
+  EXPECT_EQ(run(comm::ShardPolicy::kHierarchical, 256), flat);
+  EXPECT_EQ(run(comm::ShardPolicy::kHierarchical,
+                sizeof(core::PartUpdate)),
+            flat);
 }
 
 TEST(BoundedExchange, PartitionBitIdenticalUnderAnyBound) {
