@@ -9,6 +9,7 @@
 // stages. Expected shape: XtraPuLP total (incl. partitioning) <
 // EdgeBlock/Random totals; comm volume orders XtraPuLP < VertBlock <
 // EdgeBlock < Random.
+#include <cstdlib>
 #include <memory>
 
 #include "analytics/analytics.hpp"
@@ -35,6 +36,13 @@ int main() {
   const double scale = gen::env_scale();
   const auto n = static_cast<xtra::gid_t>(60'000 * scale);
   const int nranks = 8;
+  // Analytics knobs ride core::Params: XTRA_PIPELINE_DEPTH selects the
+  // cross-superstep ghost pipeline for the stale-tolerant kernels (KC,
+  // PR); the default 0 keeps the runs bit-comparable with earlier
+  // figures. The same Params seeds the XtraPuLP strategy below.
+  core::Params apar;
+  if (const char* pd = std::getenv("XTRA_PIPELINE_DEPTH"))
+    apar.pipeline_depth = std::atoi(pd);
   const graph::EdgeList directed = gen::webcrawl(n, 20, 7);
   const graph::EdgeList el = graph::symmetrized(directed);
   const baseline::SerialGraph sg = baseline::build_serial_graph(el);
@@ -62,7 +70,7 @@ int main() {
     } else {
       // Paper §V-E: initialize with vertex-block, then run the
       // balancing stages.
-      core::Params params;
+      core::Params params = apar;
       params.nparts = nranks;
       params.init = core::InitStrategy::kBlock;
       const bench::RunResult r =
@@ -83,9 +91,11 @@ int main() {
 
       analytics::RunInfo infos[6];
       infos[0] = analytics::harmonic_centrality(comm, g, 8, 5).info;
-      infos[1] = analytics::kcore_approx(comm, g, 15).info;
+      infos[1] = analytics::kcore_approx(comm, g, 15, apar.pipeline_depth)
+                     .info;
       infos[2] = analytics::label_propagation(comm, g, 10).info;
-      infos[3] = analytics::pagerank(comm, g, 20).info;
+      infos[3] =
+          analytics::pagerank(comm, g, 20, 0.85, apar.pipeline_depth).info;
       infos[4] = analytics::largest_scc(comm, gd).info;
       infos[5] = analytics::weakly_connected_components(comm, g).info;
       for (int a = 0; a < 6; ++a) {

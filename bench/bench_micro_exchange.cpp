@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "analytics/analytics.hpp"
 #include "comm/coalescing.hpp"
 #include "core/exchange.hpp"
 #include "gen/generators.hpp"
@@ -50,6 +51,12 @@ struct CommRow {
   double start_seconds = 0.0;       ///< time inside start() halves
   double finish_seconds = 0.0;      ///< time inside finish() halves
   count_t max_inflight_bytes = 0;   ///< peak payload held in flight
+  // Incremental-drain / cross-superstep pipeline ledger (rank 0's
+  // engine): exchanges consumed phase by phase, refreshes carried
+  // across a superstep boundary, and the deepest carry seen.
+  count_t drained_incrementally = 0;
+  count_t pipeline_carried = 0;
+  count_t max_pipeline_depth = 0;
 };
 
 /// Fill a row's overlap fields from one engine's aggregated stats.
@@ -61,6 +68,9 @@ void note_overlap(CommRow& row, const xtra::comm::ExchangeStats& s) {
   row.start_seconds = s.start_seconds;
   row.finish_seconds = s.finish_seconds;
   row.max_inflight_bytes = s.max_inflight_bytes;
+  row.drained_incrementally = s.drained_incrementally;
+  row.pipeline_carried = s.pipeline_carried;
+  row.max_pipeline_depth = s.max_pipeline_depth;
 }
 
 /// World-sum one engine's topology ledger into a row. Collective —
@@ -375,6 +385,135 @@ void BM_CoalescedRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_CoalescedRounds)->Args({16, 0})->Args({16, 1});
 
+/// The cross-superstep SuperstepPipeline against the same workload as
+/// BM_HaloPrefetchOverlap: depth 0 (drain-in-step) must match the
+/// blocking rows on bytes and collectives exactly; depth 1 carries
+/// each refresh into the next superstep, so the engine's
+/// pipeline_carried / drained_incrementally ledger lights up while the
+/// wire totals stay flat (the pipeline changes *when* arrivals land,
+/// not what travels).
+void BM_HaloPipelineDepth(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto bound = static_cast<count_t>(state.range(1));
+  const int depth = static_cast<int>(state.range(2));
+  constexpr int kIters = 10;
+  const graph::EdgeList el = gen::erdos_renyi(20'000, 16, 3);
+  CommRow row{depth == 0 ? "halo_pipeline_d0" : "halo_pipeline_d1",
+              nranks, bound};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      graph::HaloPlan halo(comm, g);
+      halo.set_max_send_bytes(bound);
+      halo.reset_stats();
+      graph::SuperstepPipeline<double> pipe(halo, depth);
+      std::vector<double> vals(g.n_total(), 1.0);
+      comm.barrier();
+      comm.reset_stats();
+      for (int i = 0; i < kIters; ++i)
+        pipe.superstep(comm, vals, [&](lid_t v) { vals[v] += 1.0; },
+                       [] {});
+      pipe.flush(comm, vals);
+      const sim::CommStats world = comm.world_stats();
+      note_topology(row, comm, halo.stats(), kIters);
+      if (comm.rank() == 0) {
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / kIters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / kIters;
+        note_overlap(row, halo.stats());
+      }
+    });
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  state.counters["carried"] = static_cast<double>(row.pipeline_carried);
+  record_row(row);
+}
+BENCHMARK(BM_HaloPipelineDepth)
+    ->Args({4, 0, 0})
+    ->Args({4, 0, 1})
+    ->Args({4, 1 << 14, 0})
+    ->Args({4, 1 << 14, 1})
+    ->Args({8, 0, 1});
+
+/// Pipelined vs blocking analytics end to end: PageRank and k-core on
+/// the SuperstepPipeline at depth 0 vs depth 1. Collectives and bytes
+/// per superstep must stay flat across depths — regressions here mean
+/// the pipeline started paying for its overlap.
+void BM_AnalyticsPipelined(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  const bool kcore = state.range(2) != 0;
+  const graph::EdgeList el = gen::erdos_renyi(8'000, 12, 5);
+  std::string name = kcore ? "kcore" : "pagerank";
+  name += depth == 0 ? "_blocking" : "_pipelined";
+  CommRow row{name, nranks, 0};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      comm.barrier();
+      comm.reset_stats();
+      const analytics::RunInfo info =
+          kcore ? analytics::kcore_approx(comm, g, 8, depth).info
+                : analytics::pagerank(comm, g, 10, 0.85, depth).info;
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        const auto iters = static_cast<double>(info.supersteps);
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / iters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / iters;
+      }
+    });
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_AnalyticsPipelined)
+    ->Args({8, 0, 0})
+    ->Args({8, 1, 0})
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 1});
+
+/// Community-LP with the per-sweep full ghost refresh vs the
+/// CoalescingExchanger path (changed labels batched, flushed every 4
+/// sweeps). The check script requires the coalesced row to issue
+/// strictly fewer collectives per superstep than its uncoalesced twin
+/// — batching per-destination runs across supersteps is the point.
+void BM_CommLpCoalesced(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const int coalesce_every = static_cast<int>(state.range(1));
+  const graph::EdgeList el = gen::erdos_renyi(8'000, 12, 7);
+  CommRow row{coalesce_every > 0 ? "commlp_coalesced"
+                                 : "commlp_uncoalesced",
+              nranks, 0};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      comm.barrier();
+      comm.reset_stats();
+      const analytics::RunInfo info =
+          analytics::label_propagation(comm, g, 10,
+                                       xtra::comm::ShardPolicy::kFlat,
+                                       coalesce_every)
+              .info;
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        const auto iters = static_cast<double>(info.supersteps);
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / iters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / iters;
+      }
+    });
+  }
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_CommLpCoalesced)->Args({8, 0})->Args({8, 4});
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,7 +536,9 @@ int main(int argc, char** argv) {
         "\"inter_node_msgs_per_iter\": %.2f, "
         "\"coalesced_flushes\": %lld, \"overlapped_frac\": %.2f, "
         "\"start_seconds\": %.4f, \"finish_seconds\": %.4f, "
-        "\"max_inflight_bytes\": %lld}",
+        "\"max_inflight_bytes\": %lld, "
+        "\"drained_incrementally\": %lld, \"pipeline_carried\": %lld, "
+        "\"max_pipeline_depth\": %lld}",
         first ? "" : ",\n", r.bench.c_str(), r.nranks,
         static_cast<long long>(r.max_send_bytes), r.bytes_per_iter,
         r.collectives_per_iter, r.phases_per_iter,
@@ -405,7 +546,10 @@ int main(int argc, char** argv) {
         r.inter_node_msgs_per_iter,
         static_cast<long long>(r.coalesced_flushes), r.overlapped_frac,
         r.start_seconds, r.finish_seconds,
-        static_cast<long long>(r.max_inflight_bytes));
+        static_cast<long long>(r.max_inflight_bytes),
+        static_cast<long long>(r.drained_incrementally),
+        static_cast<long long>(r.pipeline_carried),
+        static_cast<long long>(r.max_pipeline_depth));
     first = false;
   }
   std::printf("\n]\n");

@@ -17,6 +17,17 @@ for every (nranks >= 16) sharded_updates pair, the hierarchical row
 must move strictly fewer inter-node messages per iteration than its
 flat twin — that coalescing is the point of the two-level routing.
 
+The coalesced community-LP path carries a second absolute contract:
+every commlp_coalesced row must issue strictly fewer collectives per
+superstep than its commlp_uncoalesced twin — batching per-destination
+label updates across supersteps exists to amortize per-superstep
+collective overhead, and a row that stops doing so is a regression
+even when it stays inside the baseline tolerance. The pipelined
+analytics rows (pagerank/kcore blocking vs pipelined, halo_pipeline_*)
+have no absolute contract beyond the baseline: bytes and collectives
+per superstep must simply not grow — the pipeline changes when
+arrivals land, not what travels.
+
 Usage:
   python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
   python3 bench/check_comm_baseline.py --bench ... --update   # refresh
@@ -32,6 +43,7 @@ COMPARED = ("bytes_per_iter", "collectives_per_iter",
             "inter_node_bytes_per_iter")
 HIER_PAIRS = ("sharded_updates_hier", "sharded_updates_flat")
 HIER_MIN_RANKS = 16
+COALESCE_PAIRS = ("commlp_coalesced", "commlp_uncoalesced")
 
 
 def run_bench(bench, min_time):
@@ -95,6 +107,32 @@ def check_hier_contract(current):
     return failures
 
 
+def check_coalesce_contract(current):
+    """Coalesced commLP rows must beat their uncoalesced twins on
+    collectives per superstep, strictly."""
+    failures = []
+    co_name, unco_name = COALESCE_PAIRS
+    pairs = 0
+    for key, co in current.items():
+        if key[0] != co_name:
+            continue
+        unco = current.get((unco_name, key[1], key[2]))
+        if unco is None:
+            failures.append(f"{key}: no uncoalesced twin row to compare "
+                            f"against")
+            continue
+        pairs += 1
+        c, u = (r.get("collectives_per_iter", 0.0) for r in (co, unco))
+        if not c < u:
+            failures.append(
+                f"{key}: collectives_per_iter {c:.2f} not strictly below "
+                f"uncoalesced twin's {u:.2f}")
+    if pairs == 0:
+        failures.append(
+            f"no ({co_name}, {unco_name}) pairs in the current run")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
@@ -138,6 +176,7 @@ def main():
         print(f"note: new row not in baseline: {key}")
 
     failures += check_hier_contract(current)
+    failures += check_coalesce_contract(current)
 
     if failures:
         print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
@@ -145,7 +184,8 @@ def main():
             print(f"  {f}")
         sys.exit(1)
     print(f"comm baseline check passed: {len(baseline)} rows within "
-          f"{args.tolerance:.0%}, hierarchical inter-node contract held")
+          f"{args.tolerance:.0%}, hierarchical inter-node and coalesced "
+          f"commLP contracts held")
 
 
 if __name__ == "__main__":

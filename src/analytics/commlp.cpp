@@ -1,7 +1,9 @@
 #include <algorithm>
+#include <span>
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
+#include "comm/coalescing.hpp"
 #include "comm/dest_buckets.hpp"
 #include "comm/exchanger.hpp"
 #include "graph/halo.hpp"
@@ -9,9 +11,22 @@
 
 namespace xtra::analytics {
 
+namespace {
+
+/// Sparse ghost-label update shipped by the coalesced path: the owner
+/// of `gid` re-labeled it. Receivers apply arrivals in order, so
+/// batched rounds resolve to last-write-wins (the newest label).
+struct LabelUpdate {
+  gid_t gid;
+  gid_t label;
+};
+
+}  // namespace
+
 CommunityResult label_propagation(sim::Comm& comm,
                                   const graph::DistGraph& g, int sweeps,
-                                  comm::ShardPolicy policy) {
+                                  comm::ShardPolicy policy,
+                                  int coalesce_every) {
   CommunityResult result;
   detail::Meter meter(comm, result.info);
   graph::HaloPlan halo(comm, g, policy);
@@ -49,13 +64,92 @@ CommunityResult label_propagation(sim::Comm& comm,
     if (best != result.label[v]) changed = true;
     result.label[v] = best;
   };
-  for (int sweep = 0; sweep < sweeps; ++sweep) {
-    bool changed = false;
-    halo.overlapped_superstep(comm, result.label,
-                              [&](lid_t v) { relabel(v, changed); });
-    prev = result.label;
-    ++result.info.supersteps;
-    if (!comm.allreduce_or(changed)) break;
+
+  if (coalesce_every <= 0) {
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      bool changed = false;
+      halo.overlapped_superstep(comm, result.label,
+                                [&](lid_t v) { relabel(v, changed); });
+      prev = result.label;
+      ++result.info.supersteps;
+      if (!comm.allreduce_or(changed)) break;
+    }
+  } else {
+    // Coalesced path: instead of a full halo refresh per sweep, ship
+    // only the boundary labels that changed since they were last
+    // shipped, batched across sweeps in a CoalescingExchanger and
+    // flushed every `coalesce_every` sweeps. The exchanger runs in
+    // explicit-flush mode (flush_bytes == 0): enqueue is purely local
+    // and the flush schedule is sweep-indexed, hence rank-uniform — no
+    // agreement collective. Peers read labels up to coalesce_every-1
+    // sweeps stale between flushes; the majority vote tolerates the
+    // lag (the census below only reads owned labels, which are always
+    // current). With coalesce_every == 1 every change is delivered
+    // every sweep, which is exactly the full refresh: bit-identical to
+    // the path above.
+    comm::CoalescingExchanger co(0, 0, policy);
+    const std::vector<count_t>& scounts = halo.send_counts();
+    const std::vector<lid_t>& slids = halo.send_lids();
+    // Last label shipped per (destination, owned lid) slot; ghosts
+    // start consistent (label == gid), so nothing is owed initially.
+    std::vector<gid_t> shipped(slids.size());
+    for (std::size_t i = 0; i < slids.size(); ++i)
+      shipped[i] = result.label[slids[i]];
+    comm::DestBuckets<LabelUpdate> buckets;
+    const auto apply = [&](std::span<const LabelUpdate> arrivals) {
+      bool moved = false;
+      for (const LabelUpdate& u : arrivals) {
+        const lid_t l = g.lid_of(u.gid);
+        XTRA_ASSERT_MSG(l != kInvalidLid,
+                        "coalesced label update for an unknown ghost");
+        if (result.label[l] != u.label) {
+          result.label[l] = u.label;
+          moved = true;
+        }
+      }
+      return moved;
+    };
+
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      bool changed = false;
+      for (lid_t v = 0; v < g.n_local(); ++v) relabel(v, changed);
+      // Stage one record per (destination, vertex) slot whose label
+      // moved since it was last shipped.
+      buckets.begin(comm.size());
+      std::size_t slot = 0;
+      for (int d = 0; d < comm.size(); ++d)
+        for (count_t k = 0; k < scounts[static_cast<std::size_t>(d)];
+             ++k, ++slot)
+          if (result.label[slids[slot]] != shipped[slot]) buckets.count(d);
+      buckets.commit();
+      slot = 0;
+      for (int d = 0; d < comm.size(); ++d)
+        for (count_t k = 0; k < scounts[static_cast<std::size_t>(d)];
+             ++k, ++slot) {
+          const lid_t l = slids[slot];
+          if (result.label[l] != shipped[slot]) {
+            buckets.push(d, LabelUpdate{g.gid_of(l), result.label[l]});
+            shipped[slot] = result.label[l];
+          }
+        }
+      (void)co.enqueue(comm, buckets);  // local: explicit-flush mode
+      ++result.info.supersteps;
+      bool moved = false;
+      if ((sweep + 1) % coalesce_every == 0)
+        moved = apply(co.flush<LabelUpdate>(comm));
+      prev = result.label;
+      if (!comm.allreduce_or(changed)) {
+        // Quiesce under staleness: deliver the stragglers; if any
+        // ghost moved anywhere, the vote may still flip somewhere.
+        moved = apply(co.flush<LabelUpdate>(comm)) || moved;
+        prev = result.label;
+        if (!comm.allreduce_or(moved)) break;
+      }
+    }
+    // Sweep budget exhausted mid-batch: deliver what is still pending
+    // so ghost labels match their owners' last state. pending_rounds
+    // advances identically on every rank, so the branch is collective.
+    if (co.pending_rounds() > 0) (void)apply(co.flush<LabelUpdate>(comm));
   }
 
   // Distinct-label census: each rank sends its distinct owned labels

@@ -4,6 +4,7 @@
 #include "analytics/detail.hpp"
 #include "comm/dest_buckets.hpp"
 #include "comm/exchanger.hpp"
+#include "graph/frontier.hpp"
 #include "graph/halo.hpp"
 
 namespace xtra::analytics {
@@ -12,12 +13,13 @@ namespace {
 
 /// BFS over the active subgraph, following out- or in-edges. Marks
 /// reached owned+ghost vertices in `reached`. Collective. The caller's
-/// exchanger is reused across levels (and both sweeps).
+/// exchanger is reused across levels (and both sweeps); each level's
+/// notification exchange is overlapped — started before, and drained
+/// after, the local frontier expansion.
 void masked_bfs(sim::Comm& comm, comm::Exchanger& ex,
                 const graph::DistGraph& g, gid_t root,
                 const std::vector<std::uint8_t>& active, bool use_in_edges,
                 std::vector<std::uint8_t>& reached, count_t& supersteps) {
-  const int nranks = comm.size();
   reached.assign(g.n_total(), 0);
   std::vector<lid_t> frontier;
   if (g.owner_of_gid(root) == comm.rank()) {
@@ -30,35 +32,21 @@ void masked_bfs(sim::Comm& comm, comm::Exchanger& ex,
   }
   comm::DestBuckets<gid_t> buckets;
   std::vector<gid_t> notify;
+  std::vector<lid_t> next;
   while (comm.allreduce_or(!frontier.empty())) {
-    std::vector<lid_t> next;
-    buckets.begin(nranks);
-    notify.clear();
-    for (const lid_t v : frontier) {
-      const auto nbrs = use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
-      for (const lid_t u : nbrs) {
-        if (reached[u] || !active[u]) continue;
-        reached[u] = 1;
-        if (g.is_owned(u)) {
-          next.push_back(u);
-        } else {
-          notify.push_back(g.gid_of(u));
-          buckets.count(g.owner_of(u));
-        }
-      }
-    }
-    buckets.commit();
-    for (const gid_t gid : notify) buckets.push(g.owner_of_gid(gid), gid);
-    const std::span<const gid_t> arrivals = ex.exchange(comm, buckets);
-    for (const gid_t gid : arrivals) {
-      const lid_t l = g.lid_of(gid);
-      XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
-      if (!reached[l] && active[l]) {
-        reached[l] = 1;
-        next.push_back(l);
-      }
-    }
-    frontier = std::move(next);
+    graph::expand_frontier_overlapped(
+        comm, g, ex, buckets, notify, frontier,
+        [&](lid_t v) {
+          return use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
+        },
+        [&](lid_t u) -> bool { return reached[u] || !active[u]; },
+        [&](lid_t u) {
+          if (reached[u] || !active[u]) return false;
+          reached[u] = 1;
+          return true;
+        },
+        next);
+    std::swap(frontier, next);
     ++supersteps;
   }
 }

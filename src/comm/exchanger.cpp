@@ -101,6 +101,7 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
   for (const count_t c : counts) total += c;
   ++stats_.exchanges;
   stats_.records_sent += total;
+  pending_.counted_incremental_ = false;
   if (mode != StartMode::kBlocking) {
     ++stats_.overlapped;
     stats_.max_inflight_bytes =
@@ -206,15 +207,38 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
 }
 
 void Exchanger::finish_bytes(sim::Comm& comm) {
+  // One-shot finish = drain every remaining step. drain_step_bytes
+  // performs exactly the per-phase work the monolithic loop used to,
+  // so the two paths stay bit-identical by construction.
+  while (drain_step_bytes(comm)) {
+  }
+}
+
+void Exchanger::note_full_result_segments() {
+  drained_segs_.clear();
+  count_t off = 0;
+  for (std::size_t s = 0; s < rcounts_.size(); ++s) {
+    const count_t c = rcounts_[s];
+    if (c > 0) drained_segs_.push_back({static_cast<int>(s), off, c});
+    off += c;
+  }
+}
+
+bool Exchanger::drain_step_bytes(sim::Comm& comm) {
   XTRA_ASSERT_MSG(pending_.active_,
-                  "Exchanger::finish without a started exchange");
+                  "Exchanger::finish/drain without a started exchange");
   if (hier_inflight_) {
+    // The hierarchical protocol's arrivals only become final after the
+    // round-3 reassembly, so it drains in a single step.
     finish_hier(comm);
-    return;
+    note_full_result_segments();
+    return false;
   }
   Timer t;
   const int nranks = comm.size();
   const std::size_t elem = pending_.elem_;
+  drained_segs_.clear();
+  bool more = false;
 
   if (pending_.nphases_ == 0) {
     // All-empty exchange: nothing was posted; the (empty) result was
@@ -222,54 +246,60 @@ void Exchanger::finish_bytes(sim::Comm& comm) {
   } else if (pending_.nphases_ == 1) {
     recv_total_ = comm.alltoallv_bytes_finish(recv_bytes_, &rcounts_);
     ++stats_.phases;
+    note_full_result_segments();
   } else {
     // Drain phase p, immediately post phase p+1 so it is in flight
     // while p's arrivals are scattered into their final positions.
     const count_t total = pending_.total_;
-    while (pending_.phase_ < pending_.nphases_) {
-      (void)comm.alltoallv_bytes_finish(phase_bytes_, &phase_rcounts_);
-      ++stats_.phases;
-      ++pending_.phase_;
-      if (pending_.phase_ < pending_.nphases_) {
-        const count_t lo =
-            std::min(pending_.phase_ * pending_.max_records_, total);
-        const count_t hi = std::min(lo + pending_.max_records_, total);
-        window_counts(pending_.offsets_, lo, hi, phase_counts_);
-        account_phase(comm, phase_counts_, elem);
-        (void)comm.alltoallv_bytes_start(
-            pending_.wire_ + static_cast<std::size_t>(lo) * elem, elem,
-            phase_counts_);
-      }
-      // Arrivals from source s across phases, concatenated in phase
-      // order, are exactly s's single-alltoallv segment (each phase
-      // window preserves the within-destination record order).
-      std::size_t pos = 0;
-      for (int s = 0; s < nranks; ++s) {
-        const count_t c = phase_rcounts_[static_cast<std::size_t>(s)];
-        if (c == 0) continue;
-        const std::size_t len = static_cast<std::size_t>(c) * elem;
-        std::memcpy(recv_bytes_.data() +
-                        static_cast<std::size_t>(
-                            cursor_[static_cast<std::size_t>(s)]) *
-                            elem,
-                    phase_bytes_.data() + pos, len);
-        cursor_[static_cast<std::size_t>(s)] += c;
-        pos += len;
-      }
+    (void)comm.alltoallv_bytes_finish(phase_bytes_, &phase_rcounts_);
+    ++stats_.phases;
+    ++pending_.phase_;
+    if (pending_.phase_ < pending_.nphases_) {
+      const count_t lo =
+          std::min(pending_.phase_ * pending_.max_records_, total);
+      const count_t hi = std::min(lo + pending_.max_records_, total);
+      window_counts(pending_.offsets_, lo, hi, phase_counts_);
+      account_phase(comm, phase_counts_, elem);
+      (void)comm.alltoallv_bytes_start(
+          pending_.wire_ + static_cast<std::size_t>(lo) * elem, elem,
+          phase_counts_);
+      more = true;
+    }
+    // Arrivals from source s across phases, concatenated in phase
+    // order, are exactly s's single-alltoallv segment (each phase
+    // window preserves the within-destination record order).
+    std::size_t pos = 0;
+    for (int s = 0; s < nranks; ++s) {
+      const count_t c = phase_rcounts_[static_cast<std::size_t>(s)];
+      if (c == 0) continue;
+      const std::size_t len = static_cast<std::size_t>(c) * elem;
+      std::memcpy(recv_bytes_.data() +
+                      static_cast<std::size_t>(
+                          cursor_[static_cast<std::size_t>(s)]) *
+                          elem,
+                  phase_bytes_.data() + pos, len);
+      drained_segs_.push_back(
+          {s, cursor_[static_cast<std::size_t>(s)], c});
+      cursor_[static_cast<std::size_t>(s)] += c;
+      pos += len;
     }
 #ifndef NDEBUG
-    // Every cursor must have advanced to the next source's start.
-    for (int s = 0; s + 1 < nranks; ++s)
-      XTRA_DEBUG_ASSERT(cursor_[static_cast<std::size_t>(s)] ==
-                        cursor_[static_cast<std::size_t>(s + 1)] -
-                            rcounts_[static_cast<std::size_t>(s + 1)]);
+    if (!more)
+      // Every cursor must have advanced to the next source's start.
+      for (int s = 0; s + 1 < nranks; ++s)
+        XTRA_DEBUG_ASSERT(cursor_[static_cast<std::size_t>(s)] ==
+                          cursor_[static_cast<std::size_t>(s + 1)] -
+                              rcounts_[static_cast<std::size_t>(s + 1)]);
 #endif
   }
-  pending_.active_ = false;
-  pending_.wire_ = nullptr;
+  if (!more) {
+    pending_.active_ = false;
+    pending_.wire_ = nullptr;
+  }
   const double sec = t.seconds();
   stats_.seconds += sec;
   stats_.finish_seconds += sec;
+  return more;
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +328,7 @@ void Exchanger::start_hier(sim::Comm& comm, const std::byte* send,
 
   pending_.elem_ = elem;
   pending_.total_ = total;
+  pending_.nphases_ = 1;  // drains in one step (phases_remaining == 1)
   pending_.phase_ = 0;
   pending_.active_ = true;
   hier_inflight_ = true;

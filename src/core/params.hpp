@@ -59,6 +59,15 @@ struct Params {
   /// fewer inter-node messages. Same value required on every rank.
   comm::ShardPolicy shard_policy = comm::ShardPolicy::kFlat;
 
+  /// Supersteps a pipelined ghost refresh may stay in flight in the
+  /// kernels built on graph::SuperstepPipeline (the analytics runs the
+  /// benches drive alongside partitioning). 0 drains within the
+  /// superstep — bit-identical to the blocking path; >= 1 carries the
+  /// refresh into the next superstep for stale-ghost-tolerant kernels
+  /// (PageRank, k-core). The substrate's one-in-flight contract caps
+  /// the effective depth at 1.
+  int pipeline_depth = 0;
+
   std::uint64_t seed = 1;
 };
 

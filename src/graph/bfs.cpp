@@ -4,12 +4,12 @@
 
 #include "comm/dest_buckets.hpp"
 #include "comm/exchanger.hpp"
+#include "graph/frontier.hpp"
 
 namespace xtra::graph {
 
 count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
                    std::vector<count_t>& levels, bool use_in_edges) {
-  const int nranks = comm.size();
   levels.assign(g.n_total(), kUnreached);
 
   std::vector<lid_t> frontier;
@@ -21,44 +21,32 @@ count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
   }
 
   // Persistent across levels: notification bucketing and the wire
-  // engine reuse their buffers every superstep.
+  // engine reuse their buffers every superstep. Each level runs the
+  // shared overlapped frontier step: the notify exchange starts as
+  // soon as the ghost pass staged it and drains after the
+  // owned-frontier expansion.
   comm::DestBuckets<gid_t> buckets;
   comm::Exchanger ex;
   std::vector<gid_t> notify;  // ghost gids reached this level
+  std::vector<lid_t> next;
 
   count_t level = 0;
   count_t max_level = 0;
   while (comm.allreduce_or(!frontier.empty())) {
-    std::vector<lid_t> next;
-    buckets.begin(nranks);
-    notify.clear();
-    for (const lid_t v : frontier) {
-      const auto nbrs = use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
-      for (const lid_t u : nbrs) {
-        if (levels[u] != kUnreached) continue;
-        levels[u] = level + 1;
-        if (g.is_owned(u)) {
-          next.push_back(u);
-        } else {
-          notify.push_back(g.gid_of(u));
-          buckets.count(g.owner_of(u));
-        }
-      }
-    }
-    // Group notifications by owner for the exchange.
-    buckets.commit();
-    for (const gid_t gid : notify) buckets.push(g.owner_of_gid(gid), gid);
-    const std::span<const gid_t> reached = ex.exchange(comm, buckets);
-    for (const gid_t gid : reached) {
-      const lid_t l = g.lid_of(gid);
-      XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
-      if (levels[l] == kUnreached) {
-        levels[l] = level + 1;
-        next.push_back(l);
-      }
-    }
+    expand_frontier_overlapped(
+        comm, g, ex, buckets, notify, frontier,
+        [&](lid_t v) {
+          return use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
+        },
+        [&](lid_t u) { return levels[u] != kUnreached; },
+        [&](lid_t u) {
+          if (levels[u] != kUnreached) return false;
+          levels[u] = level + 1;
+          return true;
+        },
+        next);
     if (!next.empty()) max_level = level + 1;
-    frontier = std::move(next);
+    std::swap(frontier, next);
     ++level;
   }
   return comm.allreduce_max(max_level);

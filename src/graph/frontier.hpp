@@ -1,0 +1,86 @@
+// Shared overlapped frontier-expansion step for level-synchronous
+// BFS-style kernels (graph::bfs_levels, SCC's masked BFS).
+//
+// One superstep of the frontier protocol, overlapped: a single
+// adjacency scan marks ghost neighbors and stages the owner
+// notifications (so the exchange starts as early as possible) while
+// merely *collecting* the owned candidates; the candidate marking and
+// next-frontier compaction run while the notifications are on the
+// wire, and the arrivals are applied after the drain. The marks and
+// the next-frontier order are identical to a single interleaved scan
+// — ghost and owned neighbor sets are disjoint, and first-hit-wins
+// compaction preserves traversal order — so callers get the overlap
+// for free without a second edge traversal.
+//
+// The invariant that makes the overlap safe lives here, once: the
+// DestBuckets' staging is stable from commit() until the next
+// begin(), so the exchange may slice it in place (start_inplace), and
+// only one exchange is in flight across the two passes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/dest_buckets.hpp"
+#include "comm/exchanger.hpp"
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+#include "util/assert.hpp"
+
+namespace xtra::graph {
+
+/// Collective: expand `frontier` by one level. nbrs(v) yields the
+/// neighbor span to follow; already_marked(u) is the read-only
+/// visited-or-ineligible test; try_mark(u) returns true iff u was
+/// unvisited-and-eligible and is now marked (called at most once per
+/// newly reached vertex: ghosts during the scan, owned candidates
+/// mid-flight, arrivals on the owner). Newly reached owned vertices
+/// land in `next` (which is cleared); buckets/notify are caller-owned
+/// scratch reused across levels.
+template <typename Nbrs, typename Marked, typename TryMark>
+void expand_frontier_overlapped(sim::Comm& comm, const DistGraph& g,
+                                comm::Exchanger& ex,
+                                comm::DestBuckets<gid_t>& buckets,
+                                std::vector<gid_t>& notify,
+                                const std::vector<lid_t>& frontier,
+                                Nbrs&& nbrs, Marked&& already_marked,
+                                TryMark&& try_mark,
+                                std::vector<lid_t>& next) {
+  next.clear();
+  buckets.begin(comm.size());
+  notify.clear();
+  // Single adjacency scan: ghost neighbors are marked and staged
+  // immediately (they become the wire notifications), owned neighbors
+  // are deferred — pre-filtered by the read-only test but collected
+  // unmarked into `next`, so the marking work happens mid-flight
+  // instead of before the exchange starts and `next` never holds
+  // long-visited vertices.
+  for (const lid_t v : frontier)
+    for (const lid_t u : nbrs(v)) {
+      if (g.is_owned(u)) {
+        if (!already_marked(u))
+          next.push_back(u);  // candidate; marked (and deduped) below
+      } else if (try_mark(u)) {
+        notify.push_back(g.gid_of(u));
+        buckets.count(g.owner_of(u));
+      }
+    }
+  buckets.commit();
+  for (const gid_t gid : notify) buckets.push(g.owner_of_gid(gid), gid);
+  ex.start_inplace(comm, buckets);
+  // Mid-flight: mark the owned candidates while the notifications
+  // travel, compacting in place — first hit wins, so the surviving
+  // order equals the single interleaved scan's.
+  std::size_t w = 0;
+  for (const lid_t u : next)
+    if (try_mark(u)) next[w++] = u;
+  next.resize(w);
+  const std::span<const gid_t> arrivals = ex.finish<gid_t>(comm);
+  for (const gid_t gid : arrivals) {
+    const lid_t l = g.lid_of(gid);
+    XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
+    if (try_mark(l)) next.push_back(l);
+  }
+}
+
+}  // namespace xtra::graph

@@ -26,10 +26,16 @@
 //    entries are overwritten by finish_prefetch.
 //    overlapped_superstep() packages the whole pipeline for the
 //    common per-vertex-update kernels.
+//  * SuperstepPipeline (below) goes one step further for kernels that
+//    tolerate stale ghosts: it carries a superstep's refresh in flight
+//    *across* the superstep boundary and drains it incrementally
+//    (drain_prefetch_one) between the next superstep's compute chunks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "comm/exchanger.hpp"
@@ -76,20 +82,58 @@ class HaloPlan {
     scatter(ex_.finish<T>(comm), vals);
   }
 
+  /// Collective: drain at most one phase of the in-flight prefetch,
+  /// scattering that phase's ghost arrivals into vals as they land
+  /// (the incremental twin of finish_prefetch — the call that returns
+  /// false leaves vals exactly as finish_prefetch would). Every rank
+  /// must make the same number of calls; prefetch_phases_left() is
+  /// rank-uniform and says how many complete the drain.
+  template <typename T>
+  bool drain_prefetch_one(sim::Comm& comm, std::vector<T>& vals) {
+    return ex_.drain_one<T>(
+        comm, [&](int /*source*/, count_t dst_offset,
+                  std::span<const T> recs) {
+          for (std::size_t j = 0; j < recs.size(); ++j)
+            vals[recv_lids_[static_cast<std::size_t>(dst_offset) + j]] =
+                recs[j];
+        });
+  }
+
+  /// Collective: drain whatever is still in flight (no-op when idle).
+  template <typename T>
+  void flush_prefetch(sim::Comm& comm, std::vector<T>& vals) {
+    while (ex_.in_flight()) drain_prefetch_one(comm, vals);
+  }
+
+  /// Rank-uniform count of drain_prefetch_one calls left to complete
+  /// the in-flight prefetch (0 when idle).
+  count_t prefetch_phases_left() const { return ex_.phases_remaining(); }
+
+  /// Pipeline ledger passthrough (see Exchanger::note_pipeline_carry).
+  void note_pipeline_carry(count_t depth) { ex_.note_pipeline_carry(depth); }
+
   /// Collective: one overlapped superstep — update(v) over the
-  /// boundary, ship those values, update(v) over the interior while
-  /// the wire drains, scatter the arriving ghosts. The invariant
-  /// (boundary before prefetch, interior before finish) lives here so
-  /// kernels don't open-code it.
+  /// boundary, ship those values, mid() against the in-flight wire
+  /// (the slot for an overlapped collective), update(v) over the
+  /// interior, scatter the arriving ghosts. The invariant (boundary
+  /// before prefetch, interior before finish) lives here so kernels —
+  /// and SuperstepPipeline's depth-0 path — don't open-code it.
+  template <typename T, typename Fn, typename Mid>
+  void overlapped_superstep(sim::Comm& comm, std::vector<T>& vals,
+                            Fn&& update, Mid&& mid) {
+    for (const lid_t v : boundary_lids_) update(v);
+    prefetch_next(comm, vals);
+    mid();
+    const auto n = static_cast<lid_t>(boundary_mask_.size());
+    for (lid_t v = 0; v < n; ++v)
+      if (!is_boundary(v)) update(v);  // overlaps the in-flight wire
+    finish_prefetch(comm, vals);
+  }
+
   template <typename T, typename Fn>
   void overlapped_superstep(sim::Comm& comm, std::vector<T>& vals,
                             Fn&& update) {
-    for (const lid_t v : boundary_lids_) update(v);
-    prefetch_next(comm, vals);
-    const auto n_local = static_cast<lid_t>(boundary_mask_.size());
-    for (lid_t v = 0; v < n_local; ++v)
-      if (!is_boundary(v)) update(v);  // overlaps the in-flight wire
-    finish_prefetch(comm, vals);
+    overlapped_superstep(comm, vals, std::forward<Fn>(update), [] {});
   }
 
   bool prefetch_in_flight() const { return ex_.in_flight(); }
@@ -104,6 +148,16 @@ class HaloPlan {
   bool is_boundary(lid_t owned) const {
     return boundary_mask_[static_cast<std::size_t>(owned)] != 0;
   }
+  /// Owned vertices on this rank (the domain of is_boundary()).
+  lid_t n_local() const { return static_cast<lid_t>(boundary_mask_.size()); }
+
+  /// The plan's send layout, grouped by destination rank: one slot per
+  /// (destination, owned lid) pair, send_counts()[r] slots for rank r.
+  /// This is the routing table sparse per-vertex update paths (e.g.
+  /// commLP's coalesced label updates) reuse instead of rebuilding the
+  /// ghost registration.
+  const std::vector<count_t>& send_counts() const { return send_counts_; }
+  const std::vector<lid_t>& send_lids() const { return send_lids_; }
 
   /// Cap the per-phase send payload of subsequent exchanges (0 =
   /// unbounded). Same value required on every rank.
@@ -141,6 +195,101 @@ class HaloPlan {
   std::vector<std::uint8_t> boundary_mask_;  ///< per owned lid
   comm::ScratchBuffer send_scratch_;  ///< reused staging for send values
   comm::Exchanger ex_;                ///< persistent wire machinery
+};
+
+/// Cross-superstep pipelined ghost-refresh driver.
+///
+/// overlapped_superstep() stops overlapping at the superstep boundary:
+/// the refresh shipped at superstep k is drained before k returns, so
+/// superstep k+1 always reads fresh ghosts. For kernels whose
+/// convergence test tolerates stale ghosts (PageRank's residual,
+/// k-core's monotone level sets, commLP's majority vote), that final
+/// drain is pure wait. A SuperstepPipeline with depth >= 1 instead
+/// leaves superstep k's refresh in flight into superstep k+1, where it
+/// is drained *incrementally* — one phase per interior compute chunk,
+/// arrivals scattered into vals' ghost entries as they land — before
+/// superstep k+1 ships its own boundary values.
+///
+/// Staleness contract: at depth d >= 1, a produce(v) call may read
+/// ghost entries up to d supersteps old (and mid-superstep a mix of
+/// ages, as drained phases land); owned entries are always current.
+/// Only kernels whose update is tolerant of that lag may run at
+/// depth >= 1. The substrate admits one in-flight exchange per rank,
+/// so depths beyond 1 clamp to 1 (the ledger records the clamp, not
+/// the request). flush() drains anything still in flight, after which
+/// ghosts equal the owners' last-shipped values.
+///
+/// Depth 0 is exactly overlapped_superstep() plus a mid() hook and is
+/// bit-identical to the blocking exchange for any kernel (asserted in
+/// tests/test_pipeline.cpp).
+template <typename T>
+class SuperstepPipeline {
+ public:
+  SuperstepPipeline(HaloPlan& halo, int depth)
+      : halo_(halo), depth_(std::clamp(depth, 0, 1)) {}
+
+  /// Effective depth (requests beyond the substrate's one-in-flight
+  /// limit clamp to 1).
+  int depth() const { return depth_; }
+  bool in_flight() const { return halo_.prefetch_in_flight(); }
+
+  /// Collective: one pipelined superstep. produce(v) computes vals[v]
+  /// (or a derived update) for every owned v, boundary first; mid()
+  /// runs while this superstep's refresh is on the wire (the slot for
+  /// an overlapped allreduce). At depth 0 the refresh is drained
+  /// before returning; at depth >= 1 it stays in flight and the
+  /// *previous* superstep's refresh is drained incrementally between
+  /// interior compute chunks.
+  template <typename Produce, typename Mid>
+  void superstep(sim::Comm& comm, std::vector<T>& vals, Produce&& produce,
+                 Mid&& mid) {
+    const lid_t n_local = halo_.n_local();
+    if (depth_ == 0) {
+      halo_.overlapped_superstep(comm, vals, std::forward<Produce>(produce),
+                                 std::forward<Mid>(mid));
+      return;
+    }
+
+    // Depth >= 1. Boundary first (its ghost reads honor the staleness
+    // contract); then interleave the interior with the incremental
+    // drain of the refresh carried over from the previous superstep.
+    for (const lid_t v : halo_.boundary_lids()) produce(v);
+    const count_t steps = halo_.prefetch_phases_left();  // rank-uniform
+    if (steps > 0) halo_.note_pipeline_carry(1);
+    const count_t n_interior =
+        static_cast<count_t>(n_local) -
+        static_cast<count_t>(halo_.boundary_lids().size());
+    lid_t v = 0;
+    count_t done = 0;
+    for (count_t s = 0; s <= steps; ++s) {
+      // Chunk s of steps+1 even slices; chunk sizes are local but the
+      // drain-call count (`steps`) is globally agreed, so every rank
+      // interleaves the same collectives.
+      const count_t target = ((s + 1) * n_interior) / (steps + 1);
+      for (; done < target; ++v)
+        if (!halo_.is_boundary(v)) {
+          produce(v);
+          ++done;
+        }
+      if (s < steps) (void)halo_.drain_prefetch_one(comm, vals);
+    }
+    XTRA_ASSERT_MSG(!halo_.prefetch_in_flight(),
+                    "pipeline drain count disagreed with the phase plan");
+    halo_.prefetch_next(comm, vals);  // carried into the next superstep
+    mid();
+  }
+
+  /// Collective: drain the in-flight refresh, if any, so vals' ghosts
+  /// hold the owners' last-shipped values. No-op at depth 0 (and when
+  /// nothing is in flight) — every rank must still call it at the same
+  /// point.
+  void flush(sim::Comm& comm, std::vector<T>& vals) {
+    halo_.flush_prefetch(comm, vals);
+  }
+
+ private:
+  HaloPlan& halo_;
+  int depth_;
 };
 
 }  // namespace xtra::graph
