@@ -18,8 +18,10 @@
 #include <string>
 
 #include "analytics/analytics.hpp"
+#include "analytics/programs.hpp"
 #include "comm/coalescing.hpp"
 #include "core/exchange.hpp"
+#include "engine/engine.hpp"
 #include "gen/generators.hpp"
 #include "graph/dist_graph.hpp"
 #include "graph/halo.hpp"
@@ -513,6 +515,122 @@ void BM_CommLpCoalesced(benchmark::State& state) {
   record_row(row);
 }
 BENCHMARK(BM_CommLpCoalesced)->Args({8, 0})->Args({8, 4});
+
+/// Engine-vs-wrapper twins: PageRank and community-LP executed
+/// directly through engine::run (explicit program + Config) against
+/// the wrapper-driven rows above (pagerank_blocking /
+/// commlp_uncoalesced). The check script enforces the absolute
+/// contract that the direct rows move no more bytes and collectives
+/// per superstep than the wrapper rows — the wrappers must stay a
+/// zero-cost veneer over the engine. (The engine itself is pinned
+/// against the pre-engine hand-rolled kernels by the frozen baseline
+/// numbers those kernels recorded.)
+void BM_EngineTwin(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const bool commlp = state.range(1) != 0;
+  const graph::EdgeList el = gen::erdos_renyi(8'000, 12, commlp ? 7 : 5);
+  CommRow row{commlp ? "commlp_engine" : "pagerank_engine", nranks, 0};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      comm.barrier();
+      comm.reset_stats();
+      engine::Config cfg;
+      engine::Stats st;
+      if (commlp) {
+        analytics::CommLpProgram p;
+        cfg.max_supersteps = 10;
+        st = engine::run(comm, g, p, cfg);
+      } else {
+        analytics::PageRankProgram p;
+        cfg.max_supersteps = 10;
+        st = engine::run(comm, g, p, cfg);
+      }
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        const auto iters = static_cast<double>(st.supersteps);
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / iters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / iters;
+      }
+    });
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_EngineTwin)->Args({8, 0})->Args({8, 1});
+
+/// The delta-capped SSSP frontier program: notification volume per
+/// superstep at two bucket widths (a tight delta runs more, smaller
+/// supersteps over the same relaxation set; total bytes respond to
+/// the cap, not just the graph).
+void BM_SsspFrontier(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto delta = static_cast<count_t>(state.range(1));
+  const graph::EdgeList el = gen::erdos_renyi(8'000, 12, 5);
+  // Delta rides the row *name* (max_send_bytes stays the exchange
+  // bound, 0 = unbounded here) so the baseline key keeps its meaning.
+  CommRow row{delta < (1 << 20) ? "sssp_d" + std::to_string(delta)
+                                : "sssp_dinf",
+              nranks, 0};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      comm.barrier();
+      comm.reset_stats();
+      const analytics::RunInfo info =
+          analytics::sssp(comm, g, /*root=*/0, delta).info;
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        const auto iters = static_cast<double>(info.supersteps);
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent) / iters;
+        row.collectives_per_iter =
+            static_cast<double>(world.collectives) / iters;
+      }
+    });
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_SsspFrontier)->Args({8, 8})->Args({8, 1 << 20});
+
+/// The query-based triangle counter: one superstep, all traffic in
+/// the query_reply round trip (the max_send_bytes knob rides the
+/// engine Config into the aux exchanger — the bounded row must move
+/// the same bytes across more collectives).
+void BM_TriangleQuery(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const auto bound = static_cast<count_t>(state.range(1));
+  const graph::EdgeList el = gen::erdos_renyi(4'000, 10, 9);
+  CommRow row{"triangles", nranks, bound};
+  for (auto _ : state) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, nranks, 3));
+      comm.barrier();
+      comm.reset_stats();
+      engine::Config cfg;
+      cfg.max_exchange_bytes = bound;
+      const analytics::RunInfo info =
+          analytics::triangle_count(comm, g, /*sample_cap=*/64, 1, cfg)
+              .info;
+      (void)info;
+      const sim::CommStats world = comm.world_stats();
+      if (comm.rank() == 0) {
+        row.bytes_per_iter = static_cast<double>(world.bytes_sent);
+        row.collectives_per_iter = static_cast<double>(world.collectives);
+      }
+    });
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_TriangleQuery)->Args({8, 0})->Args({8, 1 << 16});
 
 }  // namespace
 

@@ -28,6 +28,19 @@ have no absolute contract beyond the baseline: bytes and collectives
 per superstep must simply not grow — the pipeline changes when
 arrivals land, not what travels.
 
+The unified engine carries a third absolute contract: the
+pagerank_engine / commlp_engine rows (kernels executed directly via
+engine::run with an explicit Config) must move no more bytes or
+collectives per superstep than the pagerank_blocking /
+commlp_uncoalesced rows, which run the same workload through the
+legacy-named analytics:: wrappers. Both paths execute the engine
+today, so this pins the *wrapper layer* against diverging from a
+direct engine::run (a wrapper that grows extra collectives or
+mis-maps a knob fails here); the guard against the engine itself
+regressing relative to the pre-engine hand-rolled kernels is the
+frozen baseline numbers, which were recorded from those kernels and
+verified drift-free at the migration.
+
 Usage:
   python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
   python3 bench/check_comm_baseline.py --bench ... --update   # refresh
@@ -44,6 +57,13 @@ COMPARED = ("bytes_per_iter", "collectives_per_iter",
 HIER_PAIRS = ("sharded_updates_hier", "sharded_updates_flat")
 HIER_MIN_RANKS = 16
 COALESCE_PAIRS = ("commlp_coalesced", "commlp_uncoalesced")
+# Engine rows (direct engine::run) vs the legacy-named wrapper rows
+# running the same workload: pins the wrapper layer to a direct
+# engine::run (see the docstring). Keyed engine-row -> twin-row bench
+# name; nranks/max_send_bytes must match.
+ENGINE_TWINS = {"pagerank_engine": "pagerank_blocking",
+                "commlp_engine": "commlp_uncoalesced"}
+ENGINE_SLACK = 1.001  # strict equality modulo float formatting
 
 
 def run_bench(bench, min_time):
@@ -133,6 +153,33 @@ def check_coalesce_contract(current):
     return failures
 
 
+def check_engine_contract(current):
+    """Direct engine::run rows may move no more bytes/collectives per
+    superstep than the wrapper-driven twins on the same workload (the
+    wrapper layer must stay a zero-cost veneer over the engine)."""
+    failures = []
+    pairs = 0
+    for key, row in current.items():
+        twin_name = ENGINE_TWINS.get(key[0])
+        if twin_name is None:
+            continue
+        twin = current.get((twin_name, key[1], key[2]))
+        if twin is None:
+            failures.append(f"{key}: no {twin_name} twin row to compare "
+                            f"against")
+            continue
+        pairs += 1
+        for metric in ("bytes_per_iter", "collectives_per_iter"):
+            e, t = (r.get(metric, 0.0) for r in (row, twin))
+            if e > t * ENGINE_SLACK:
+                failures.append(
+                    f"{key}: {metric} {e:.2f} exceeds legacy twin "
+                    f"{twin_name}'s {t:.2f}")
+    if pairs == 0:
+        failures.append("no engine-twin pairs in the current run")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
@@ -177,6 +224,7 @@ def main():
 
     failures += check_hier_contract(current)
     failures += check_coalesce_contract(current)
+    failures += check_engine_contract(current)
 
     if failures:
         print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
@@ -184,8 +232,8 @@ def main():
             print(f"  {f}")
         sys.exit(1)
     print(f"comm baseline check passed: {len(baseline)} rows within "
-          f"{args.tolerance:.0%}, hierarchical inter-node and coalesced "
-          f"commLP contracts held")
+          f"{args.tolerance:.0%}; hierarchical inter-node, coalesced "
+          f"commLP, and engine-twin contracts held")
 
 
 if __name__ == "__main__":

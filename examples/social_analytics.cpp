@@ -1,14 +1,19 @@
 // Scenario: speed up distributed analytics on a social network by
-// partitioning first — the paper's motivating workload (Fig 8).
+// partitioning first — the paper's motivating workload (Fig 8),
+// expressed through the unified vertex-program engine API.
 //
-// Builds an LJ-style community graph, runs PageRank + label
-// propagation + WCC twice (random placement vs. XtraPuLP placement)
-// and reports the communication-volume and time savings.
+// Builds an LJ-style community graph and runs PageRank + label
+// propagation + WCC as engine programs (engine::run with one
+// engine::Config carrying every transport knob) twice — random
+// placement vs. XtraPuLP placement — and reports the
+// communication-volume and time savings. The per-kernel engine::Stats
+// ledger (JSON-exportable) shows where the bytes went.
 #include <cstdio>
 #include <memory>
 
-#include "analytics/analytics.hpp"
+#include "analytics/programs.hpp"
 #include "core/xtrapulp.hpp"
+#include "engine/engine.hpp"
 #include "gen/generators.hpp"
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
@@ -19,29 +24,50 @@ int main() {
   const graph::EdgeList el =
       gen::community_graph(30'000, 14, 0.8, 2.3, 7);
 
+  // One config for every kernel: transport knobs ride core::Params so
+  // analytics and partitioning are driven from the same struct.
+  core::Params params;
+  params.nparts = kRanks;
+  const engine::Config cfg = engine::Config::from_params(params);
+
   struct Totals {
     double seconds = 0.0;
     count_t bytes = 0;
   };
-  auto run_suite = [&](const graph::VertexDist& dist) {
+  auto run_suite = [&](const graph::VertexDist& dist, bool print_json) {
     Totals totals;
     sim::run_world(kRanks, [&](sim::Comm& comm) {
       const graph::DistGraph g = graph::build_dist_graph(comm, el, dist);
-      const auto pr = analytics::pagerank(comm, g, 20);
-      const auto lp = analytics::label_propagation(comm, g, 10);
-      const auto cc = analytics::weakly_connected_components(comm, g);
+
+      analytics::PageRankProgram pr;
+      engine::Config pr_cfg = cfg;
+      pr_cfg.max_supersteps = 20;
+      const engine::Stats pr_st = engine::run(comm, g, pr, pr_cfg);
+
+      analytics::CommLpProgram lp;
+      engine::Config lp_cfg = cfg;
+      lp_cfg.max_supersteps = 10;
+      const engine::Stats lp_st = engine::run(comm, g, lp, lp_cfg);
+
+      analytics::WccProgram cc;
+      const engine::Stats cc_st = engine::run(comm, g, cc, cfg);
+
       const double t = -comm.allreduce_min(
-          -(pr.info.seconds + lp.info.seconds + cc.info.seconds));
+          -(pr_st.seconds + lp_st.seconds + cc_st.seconds));
       const count_t b = comm.allreduce_sum(
-          pr.info.comm_bytes + lp.info.comm_bytes + cc.info.comm_bytes);
-      if (comm.rank() == 0) totals = {t, b};
+          pr_st.comm_bytes + lp_st.comm_bytes + cc_st.comm_bytes);
+      if (comm.rank() == 0) {
+        totals = {t, b};
+        if (print_json)
+          std::printf("  pagerank stats: %s\n", pr_st.to_json().c_str());
+      }
     });
     return totals;
   };
 
   // Baseline: random vertex placement.
   const Totals random_run =
-      run_suite(graph::VertexDist::random(el.n, kRanks, 3));
+      run_suite(graph::VertexDist::random(el.n, kRanks, 3), false);
 
   // Partition with XtraPuLP (parts == ranks), then place by part.
   std::vector<part_t> parts;
@@ -49,8 +75,6 @@ int main() {
   sim::run_world(kRanks, [&](sim::Comm& comm) {
     const graph::DistGraph g = graph::build_dist_graph(
         comm, el, graph::VertexDist::random(el.n, kRanks, 3));
-    core::Params params;
-    params.nparts = kRanks;
     const auto r = core::partition(comm, g, params);
     const auto global = core::gather_global_parts(comm, g, r.parts);
     if (comm.rank() == 0) {
@@ -59,8 +83,8 @@ int main() {
     }
   });
   auto owners = std::make_shared<std::vector<int>>(parts.begin(), parts.end());
-  const Totals partitioned_run =
-      run_suite(graph::VertexDist::explicit_map(el.n, kRanks, owners));
+  const Totals partitioned_run = run_suite(
+      graph::VertexDist::explicit_map(el.n, kRanks, owners), true);
 
   std::printf("analytics suite (PR + LP + WCC) on %d ranks\n", kRanks);
   std::printf("  random placement:    %.2fs, %.1f MB communicated\n",

@@ -1,8 +1,21 @@
 // Distributed graph analytics — the six workloads of Fig 8 (algorithms
-// follow Slota et al. [29], the paper's companion analytics study).
-// Every analytic is bulk-synchronous over mpisim: local compute +
-// halo exchange per superstep, so execution time and communication
-// volume respond to the partition quality exactly as in the paper.
+// follow Slota et al. [29], the paper's companion analytics study)
+// plus the two engine-native ones (delta-capped SSSP, approximate
+// triangle count). Every analytic is bulk-synchronous over mpisim:
+// local compute + halo exchange per superstep, so execution time and
+// communication volume respond to the partition quality exactly as in
+// the paper.
+//
+// Every kernel executes through the unified vertex-program engine
+// (engine/engine.hpp): the preferred API is
+//   engine::run(comm, g, program, engine::Config{...})
+// with the program structs of analytics/programs.hpp, which inherits
+// every transport knob (shard policy, chunk size, pipeline depth,
+// coalescing) uniformly. The entry points below are kept as thin
+// wrappers — bit-identical to engine::run at their default knobs —
+// for callers of the historical per-kernel signatures; composite
+// kernels (harmonic centrality, SCC) additionally take an
+// engine::Config overload, which is their engine-native form.
 //
 // Each run reports wall seconds and the bytes this rank sent (callers
 // aggregate via Comm::global_bytes_sent-style reductions).
@@ -11,6 +24,7 @@
 #include <vector>
 
 #include "comm/shard_policy.hpp"
+#include "engine/config.hpp"
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
 
@@ -93,7 +107,9 @@ KCoreResult kcore_approx(sim::Comm& comm, const graph::DistGraph& g,
                          int rounds = 20, int pipeline_depth = 0);
 
 /// Harmonic centrality (HC) of `num_sources` sampled vertices:
-/// HC(v) = sum_u 1/d(u,v), one BFS per source.
+/// HC(v) = sum_u 1/d(u,v), one BFS per source. The Config overload is
+/// the engine-native form: cfg routes every BFS's notification
+/// exchange (shard policy, chunk size).
 struct HarmonicResult {
   RunInfo info;
   std::vector<gid_t> sources;
@@ -101,17 +117,58 @@ struct HarmonicResult {
 };
 HarmonicResult harmonic_centrality(sim::Comm& comm,
                                    const graph::DistGraph& g,
+                                   int num_sources, std::uint64_t seed,
+                                   const engine::Config& cfg);
+HarmonicResult harmonic_centrality(sim::Comm& comm,
+                                   const graph::DistGraph& g,
                                    int num_sources = 16,
                                    std::uint64_t seed = 1);
 
 /// Largest strongly connected component extraction (SCC) on a
 /// *directed* graph: trim + forward/backward BFS from a max-degree
-/// pivot (the MultiStep scheme of [29], first stage).
+/// pivot (the MultiStep scheme of [29], first stage). The Config
+/// overload is the engine-native form: cfg routes the trim's halo
+/// refresh and both BFS notification exchanges.
 struct SccResult {
   RunInfo info;
   std::vector<std::uint8_t> in_scc;  ///< size n_total, 1 if in largest SCC
   count_t scc_size = 0;
 };
+SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g,
+                      const engine::Config& cfg);
 SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g);
+
+/// Delta-capped single-source shortest paths (SSSP) over the
+/// deterministic synthetic edge weights of
+/// analytics::edge_weight(a, b, weight_seed, max_weight): each
+/// superstep expands only frontier vertices within the current
+/// distance threshold (bucket width `delta`), deferring the rest — a
+/// delta-stepping-style cap on per-superstep relaxation work. dist is
+/// kInfDist (see programs.hpp) for unreachable vertices.
+struct SsspResult {
+  RunInfo info;
+  std::vector<count_t> dist;  ///< size n_total (ghost entries best-known)
+  count_t reached = 0;        ///< vertices with a finite distance
+  count_t max_dist = 0;       ///< largest finite distance (global)
+};
+SsspResult sssp(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
+                count_t delta = 8, count_t max_weight = 16,
+                std::uint64_t weight_seed = 1,
+                const engine::Config& cfg = {});
+
+/// Approximate triangle count (TC): every owned vertex stages closure
+/// queries for its wedges (all of them, or a deterministic unbiased
+/// sample of `sample_cap` past the cap) through a query_reply round
+/// trip to the smaller endpoint's owner. Exact when no vertex exceeds
+/// the cap.
+struct TriangleResult {
+  RunInfo info;
+  double triangles = 0.0;       ///< global (estimated) triangle count
+  count_t sampled_centers = 0;  ///< vertices that hit the sample cap
+};
+TriangleResult triangle_count(sim::Comm& comm, const graph::DistGraph& g,
+                              count_t sample_cap = 256,
+                              std::uint64_t seed = 1,
+                              const engine::Config& cfg = {});
 
 }  // namespace xtra::analytics

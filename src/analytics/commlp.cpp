@@ -1,177 +1,27 @@
 #include <algorithm>
-#include <span>
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
-#include "comm/coalescing.hpp"
-#include "comm/dest_buckets.hpp"
-#include "comm/exchanger.hpp"
-#include "graph/halo.hpp"
-#include "util/flat_map.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
 
 namespace xtra::analytics {
-
-namespace {
-
-/// Sparse ghost-label update shipped by the coalesced path: the owner
-/// of `gid` re-labeled it. Receivers apply arrivals in order, so
-/// batched rounds resolve to last-write-wins (the newest label).
-struct LabelUpdate {
-  gid_t gid;
-  gid_t label;
-};
-
-}  // namespace
 
 CommunityResult label_propagation(sim::Comm& comm,
                                   const graph::DistGraph& g, int sweeps,
                                   comm::ShardPolicy policy,
                                   int coalesce_every) {
+  CommLpProgram p;
+  engine::Config cfg;
+  cfg.max_supersteps = std::max(sweeps, 0);  // legacy: sweeps <= 0 runs none
+  cfg.shard_policy = policy;
+  cfg.coalesce_every = coalesce_every;
+  const engine::Stats st = engine::run(comm, g, p, cfg);
+
   CommunityResult result;
-  detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g, policy);
-
-  result.label.resize(g.n_total());
-  for (lid_t v = 0; v < g.n_total(); ++v) result.label[v] = g.gid_of(v);
-  std::vector<gid_t> prev(result.label);
-
-  // Scratch for majority counting: labels are arbitrary gids, so use a
-  // sorted copy of the neighborhood's labels per vertex.
-  std::vector<gid_t> nbr_labels;
-  // Synchronous update: read prev, write label. Order is therefore
-  // free, so each sweep updates the boundary vertices first, ships
-  // them (the only labels any peer reads) while the interior computes,
-  // and drains the ghost refresh at the end — bit-identical to the
-  // all-then-exchange sweep.
-  const auto relabel = [&](lid_t v, bool& changed) {
-    const auto nbrs = g.neighbors(v);
-    if (nbrs.empty()) return;
-    nbr_labels.clear();
-    for (const lid_t u : nbrs) nbr_labels.push_back(prev[u]);
-    std::sort(nbr_labels.begin(), nbr_labels.end());
-    // Majority label, ties toward the smaller label (deterministic).
-    gid_t best = prev[v];
-    std::size_t best_count = 0;
-    for (std::size_t i = 0; i < nbr_labels.size();) {
-      std::size_t j = i;
-      while (j < nbr_labels.size() && nbr_labels[j] == nbr_labels[i]) ++j;
-      if (j - i > best_count) {
-        best_count = j - i;
-        best = nbr_labels[i];
-      }
-      i = j;
-    }
-    if (best != result.label[v]) changed = true;
-    result.label[v] = best;
-  };
-
-  if (coalesce_every <= 0) {
-    for (int sweep = 0; sweep < sweeps; ++sweep) {
-      bool changed = false;
-      halo.overlapped_superstep(comm, result.label,
-                                [&](lid_t v) { relabel(v, changed); });
-      prev = result.label;
-      ++result.info.supersteps;
-      if (!comm.allreduce_or(changed)) break;
-    }
-  } else {
-    // Coalesced path: instead of a full halo refresh per sweep, ship
-    // only the boundary labels that changed since they were last
-    // shipped, batched across sweeps in a CoalescingExchanger and
-    // flushed every `coalesce_every` sweeps. The exchanger runs in
-    // explicit-flush mode (flush_bytes == 0): enqueue is purely local
-    // and the flush schedule is sweep-indexed, hence rank-uniform — no
-    // agreement collective. Peers read labels up to coalesce_every-1
-    // sweeps stale between flushes; the majority vote tolerates the
-    // lag (the census below only reads owned labels, which are always
-    // current). With coalesce_every == 1 every change is delivered
-    // every sweep, which is exactly the full refresh: bit-identical to
-    // the path above.
-    comm::CoalescingExchanger co(0, 0, policy);
-    const std::vector<count_t>& scounts = halo.send_counts();
-    const std::vector<lid_t>& slids = halo.send_lids();
-    // Last label shipped per (destination, owned lid) slot; ghosts
-    // start consistent (label == gid), so nothing is owed initially.
-    std::vector<gid_t> shipped(slids.size());
-    for (std::size_t i = 0; i < slids.size(); ++i)
-      shipped[i] = result.label[slids[i]];
-    comm::DestBuckets<LabelUpdate> buckets;
-    const auto apply = [&](std::span<const LabelUpdate> arrivals) {
-      bool moved = false;
-      for (const LabelUpdate& u : arrivals) {
-        const lid_t l = g.lid_of(u.gid);
-        XTRA_ASSERT_MSG(l != kInvalidLid,
-                        "coalesced label update for an unknown ghost");
-        if (result.label[l] != u.label) {
-          result.label[l] = u.label;
-          moved = true;
-        }
-      }
-      return moved;
-    };
-
-    for (int sweep = 0; sweep < sweeps; ++sweep) {
-      bool changed = false;
-      for (lid_t v = 0; v < g.n_local(); ++v) relabel(v, changed);
-      // Stage one record per (destination, vertex) slot whose label
-      // moved since it was last shipped.
-      buckets.begin(comm.size());
-      std::size_t slot = 0;
-      for (int d = 0; d < comm.size(); ++d)
-        for (count_t k = 0; k < scounts[static_cast<std::size_t>(d)];
-             ++k, ++slot)
-          if (result.label[slids[slot]] != shipped[slot]) buckets.count(d);
-      buckets.commit();
-      slot = 0;
-      for (int d = 0; d < comm.size(); ++d)
-        for (count_t k = 0; k < scounts[static_cast<std::size_t>(d)];
-             ++k, ++slot) {
-          const lid_t l = slids[slot];
-          if (result.label[l] != shipped[slot]) {
-            buckets.push(d, LabelUpdate{g.gid_of(l), result.label[l]});
-            shipped[slot] = result.label[l];
-          }
-        }
-      (void)co.enqueue(comm, buckets);  // local: explicit-flush mode
-      ++result.info.supersteps;
-      bool moved = false;
-      if ((sweep + 1) % coalesce_every == 0)
-        moved = apply(co.flush<LabelUpdate>(comm));
-      prev = result.label;
-      if (!comm.allreduce_or(changed)) {
-        // Quiesce under staleness: deliver the stragglers; if any
-        // ghost moved anywhere, the vote may still flip somewhere.
-        moved = apply(co.flush<LabelUpdate>(comm)) || moved;
-        prev = result.label;
-        if (!comm.allreduce_or(moved)) break;
-      }
-    }
-    // Sweep budget exhausted mid-batch: deliver what is still pending
-    // so ghost labels match their owners' last state. pending_rounds
-    // advances identically on every rank, so the branch is collective.
-    if (co.pending_rounds() > 0) (void)apply(co.flush<LabelUpdate>(comm));
-  }
-
-  // Distinct-label census: each rank sends its distinct owned labels
-  // to the label's owner; owners count distinct arrivals.
-  std::vector<gid_t> distinct;
-  distinct.reserve(g.n_local());
-  for (lid_t v = 0; v < g.n_local(); ++v) distinct.push_back(result.label[v]);
-  std::sort(distinct.begin(), distinct.end());
-  distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                 distinct.end());
-  comm::DestBuckets<gid_t> buckets;
-  buckets.build(
-      comm.size(), distinct,
-      [&g](const gid_t l) { return g.owner_of_gid(l); },
-      [](const gid_t l) { return l; });
-  comm::Exchanger ex(0, policy);
-  const std::span<const gid_t> arrivals = ex.exchange(comm, buckets);
-  std::vector<gid_t> recv(arrivals.begin(), arrivals.end());
-  std::sort(recv.begin(), recv.end());
-  recv.erase(std::unique(recv.begin(), recv.end()), recv.end());
-  result.num_communities =
-      comm.allreduce_sum(static_cast<count_t>(recv.size()));
+  result.info = detail::to_run_info(st);
+  result.label = std::move(p.label);
+  result.num_communities = p.num_communities;
   return result;
 }
 

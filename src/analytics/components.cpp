@@ -1,96 +1,23 @@
-#include <algorithm>
-
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
-#include "comm/dest_buckets.hpp"
-#include "comm/exchanger.hpp"
-#include "graph/halo.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
 
 namespace xtra::analytics {
 
 ComponentsResult weakly_connected_components(sim::Comm& comm,
                                              const graph::DistGraph& g,
                                              comm::ShardPolicy policy) {
+  WccProgram p;
+  engine::Config cfg;
+  cfg.shard_policy = policy;
+  const engine::Stats st = engine::run(comm, g, p, cfg);
+
   ComponentsResult result;
-  detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g, policy);
-
-  result.component.resize(g.n_total());
-  for (lid_t v = 0; v < g.n_total(); ++v) result.component[v] = g.gid_of(v);
-
-  // Min-label propagation converges to the same fixed point under any
-  // update order, so each superstep updates the boundary vertices
-  // first, ships them (the only values any peer reads) while the
-  // interior computes, and drains the ghost refresh at the end.
-  const auto relax = [&](lid_t v, bool& changed) {
-    gid_t best = result.component[v];
-    // Undirected view: a directed graph's weak components use both
-    // edge directions.
-    for (const lid_t u : g.neighbors(v))
-      best = std::min(best, result.component[u]);
-    if (g.directed())
-      for (const lid_t u : g.in_neighbors(v))
-        best = std::min(best, result.component[u]);
-    if (best < result.component[v]) {
-      result.component[v] = best;
-      changed = true;
-    }
-  };
-  bool changed = true;
-  while (comm.allreduce_or(changed)) {
-    changed = false;
-    halo.overlapped_superstep(comm, result.component,
-                              [&](lid_t v) { relax(v, changed); });
-    ++result.info.supersteps;
-  }
-
-  // Component census: ship (root, local_count) pairs to the root's
-  // owner, which totals them.
-  struct RootCount {
-    gid_t root;
-    count_t size;
-  };
-  std::vector<RootCount> local;
-  {
-    std::vector<gid_t> roots;
-    roots.reserve(g.n_local());
-    for (lid_t v = 0; v < g.n_local(); ++v)
-      roots.push_back(result.component[v]);
-    std::sort(roots.begin(), roots.end());
-    for (std::size_t i = 0; i < roots.size();) {
-      std::size_t j = i;
-      while (j < roots.size() && roots[j] == roots[i]) ++j;
-      local.push_back({roots[i], static_cast<count_t>(j - i)});
-      i = j;
-    }
-  }
-  comm::DestBuckets<RootCount> buckets;
-  buckets.build(
-      comm.size(), local,
-      [&g](const RootCount& rc) { return g.owner_of_gid(rc.root); },
-      [](const RootCount& rc) { return rc; });
-  comm::Exchanger ex(0, policy);
-  const std::span<const RootCount> arrivals = ex.exchange(comm, buckets);
-  std::vector<RootCount> recv(arrivals.begin(), arrivals.end());
-  std::sort(recv.begin(), recv.end(),
-            [](const RootCount& a, const RootCount& b) {
-              return a.root < b.root;
-            });
-  count_t num = 0;
-  count_t largest = 0;
-  for (std::size_t i = 0; i < recv.size();) {
-    std::size_t j = i;
-    count_t total = 0;
-    while (j < recv.size() && recv[j].root == recv[i].root) {
-      total += recv[j].size;
-      ++j;
-    }
-    ++num;
-    largest = std::max(largest, total);
-    i = j;
-  }
-  result.num_components = comm.allreduce_sum(num);
-  result.largest_size = comm.allreduce_max(largest);
+  result.info = detail::to_run_info(st);
+  result.component = std::move(p.component);
+  result.num_components = p.num_components;
+  result.largest_size = p.largest_size;
   return result;
 }
 

@@ -2,11 +2,13 @@
 #pragma once
 
 #include "analytics/analytics.hpp"
+#include "engine/stats.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::analytics::detail {
 
-/// Scoped measurement of wall time and sent bytes into a RunInfo.
+/// Scoped measurement of wall time and sent bytes into a RunInfo (for
+/// the composite wrappers that meter several engine runs plus glue).
 class Meter {
  public:
   Meter(sim::Comm& comm, RunInfo& info)
@@ -24,5 +26,14 @@ class Meter {
   count_t start_bytes_;
   Timer timer_;
 };
+
+/// The legacy RunInfo triple of an engine run (single-run wrappers).
+inline RunInfo to_run_info(const engine::Stats& st) {
+  RunInfo info;
+  info.seconds = st.seconds;
+  info.comm_bytes = st.comm_bytes;
+  info.supersteps = st.supersteps;
+  return info;
+}
 
 }  // namespace xtra::analytics::detail

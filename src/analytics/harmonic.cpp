@@ -1,13 +1,15 @@
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
-#include "graph/bfs.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
 #include "util/rng.hpp"
 
 namespace xtra::analytics {
 
 HarmonicResult harmonic_centrality(sim::Comm& comm,
                                    const graph::DistGraph& g,
-                                   int num_sources, std::uint64_t seed) {
+                                   int num_sources, std::uint64_t seed,
+                                   const engine::Config& cfg) {
   HarmonicResult result;
   detail::Meter meter(comm, result.info);
 
@@ -18,17 +20,24 @@ HarmonicResult harmonic_centrality(sim::Comm& comm,
     result.sources.push_back(
         splitmix64(seed + static_cast<std::uint64_t>(i)) % g.n_global());
 
-  std::vector<count_t> levels;
   for (const gid_t source : result.sources) {
-    const count_t ecc = bfs_levels(comm, g, source, levels);
+    BfsProgram bfs;
+    bfs.root = source;
+    engine::run(comm, g, bfs, cfg);
     double local = 0.0;
     for (lid_t v = 0; v < g.n_local(); ++v)
-      if (levels[v] > 0)
-        local += 1.0 / static_cast<double>(levels[v]);
+      if (bfs.levels[v] > 0 && bfs.levels[v] != kInfDist)
+        local += 1.0 / static_cast<double>(bfs.levels[v]);
     result.centrality.push_back(comm.allreduce_sum(local));
-    result.info.supersteps += ecc;
+    result.info.supersteps += bfs.ecc;
   }
   return result;
+}
+
+HarmonicResult harmonic_centrality(sim::Comm& comm,
+                                   const graph::DistGraph& g,
+                                   int num_sources, std::uint64_t seed) {
+  return harmonic_centrality(comm, g, num_sources, seed, engine::Config{});
 }
 
 }  // namespace xtra::analytics

@@ -2,92 +2,23 @@
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
-#include "graph/halo.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
 
 namespace xtra::analytics {
 
-namespace {
-
-/// h-index of a value multiset: the largest h with >= h values >= h.
-count_t h_index(std::vector<count_t>& values) {
-  std::sort(values.begin(), values.end(), std::greater<count_t>());
-  count_t h = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (values[i] >= static_cast<count_t>(i + 1))
-      h = static_cast<count_t>(i + 1);
-    else
-      break;
-  }
-  return h;
-}
-
-}  // namespace
-
 KCoreResult kcore_approx(sim::Comm& comm, const graph::DistGraph& g,
                          int rounds, int pipeline_depth) {
+  KCoreProgram p;
+  engine::Config cfg;
+  cfg.max_supersteps = std::max(rounds, 0);  // legacy: rounds <= 0 runs none
+  cfg.pipeline_depth = pipeline_depth;
+  const engine::Stats st = engine::run(comm, g, p, cfg);
+
   KCoreResult result;
-  detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g);
-  graph::SuperstepPipeline<count_t> pipe(halo, pipeline_depth);
-
-  // Coreness upper bound: the degree. Repeated neighborhood h-index
-  // contraction converges to the exact coreness (Lü et al. 2016). The
-  // update is synchronous (reads prev, writes core) — a deliberate
-  // change from the earlier in-place Gauss-Seidel sweep, which read
-  // same-round updates and was therefore order-dependent: the
-  // boundary-first pipelined sweep requires order-freedom, and the
-  // synchronous form is Lü et al.'s formulation. Both contract to the
-  // same (unique) coreness fixpoint; Gauss-Seidel merely got there in
-  // fewer rounds, which is what the pipeline's overlap buys back.
-  // Synchronous also makes the sweep stale-tolerant: values are
-  // monotone non-increasing, so a stale ghost is just an older upper
-  // bound. At depth >= 1 the staleness compounds: round k's exchange
-  // is drained during round k+1, and the sweep reads the previous
-  // round's prev snapshot, so a ghost read can be up to two rounds
-  // old.
-  result.core.resize(g.n_total());
-  for (lid_t v = 0; v < g.n_total(); ++v) result.core[v] = g.degree(v);
-  std::vector<count_t> prev(result.core);
-
-  std::vector<count_t> nbr_core;
-  for (int round = 0; round < rounds; ++round) {
-    bool changed = false;
-    pipe.superstep(
-        comm, result.core,
-        [&](lid_t v) {
-          nbr_core.clear();
-          for (const lid_t u : g.neighbors(v))
-            nbr_core.push_back(prev[u]);
-          const count_t h =
-              std::min<count_t>(h_index(nbr_core), g.degree(v));
-          if (h < result.core[v]) {
-            result.core[v] = h;
-            changed = true;
-          }
-        },
-        [] {});
-    ++result.info.supersteps;
-    if (!comm.allreduce_or(changed)) {
-      if (pipe.depth() == 0) break;
-      // Stale-tolerant convergence: deliver the in-flight decrements;
-      // if any ghost moved, the peel may have further to go.
-      pipe.flush(comm, result.core);
-      bool ghost_moved = false;
-      for (lid_t v = g.n_local(); v < g.n_total(); ++v)
-        if (result.core[v] != prev[v]) ghost_moved = true;
-      prev = result.core;
-      if (!comm.allreduce_or(ghost_moved)) break;
-      continue;
-    }
-    prev = result.core;
-  }
-  // Ghosts converge to the owners' last-shipped (final) values.
-  pipe.flush(comm, result.core);
-
-  count_t local_max = 0;
-  for (lid_t v = 0; v < g.n_local(); ++v)
-    local_max = std::max(local_max, result.core[v]);
-  result.max_core = comm.allreduce_max(local_max);
+  result.info = detail::to_run_info(st);
+  result.core = std::move(p.core);
+  result.max_core = p.max_core;
   return result;
 }
 

@@ -1,68 +1,27 @@
-#include <cmath>
+#include <algorithm>
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
-#include "graph/halo.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
 
 namespace xtra::analytics {
 
 PageRankResult pagerank(sim::Comm& comm, const graph::DistGraph& g,
                         int iters, double damping, int pipeline_depth,
                         double tol) {
+  PageRankProgram p;
+  p.damping = damping;
+  engine::Config cfg;
+  cfg.max_supersteps = std::max(iters, 0);  // legacy: iters <= 0 runs none
+  cfg.pipeline_depth = pipeline_depth;
+  cfg.tol = tol;
+  const engine::Stats st = engine::run(comm, g, p, cfg);
+
   PageRankResult result;
-  detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g);
-  graph::SuperstepPipeline<double> pipe(halo, pipeline_depth);
-
-  const double n = static_cast<double>(g.n_global());
-  std::vector<double> contrib(g.n_total(), 0.0);
-  result.rank.assign(g.n_total(), 1.0 / n);
-
-  for (int iter = 0; iter < iters; ++iter) {
-    // Dangling mass in fixed lid order, so the sum is bit-identical no
-    // matter how the pipeline orders the contribution writes below.
-    double dangling = 0.0;
-    for (lid_t v = 0; v < g.n_local(); ++v)
-      if (g.degree(v) == 0) dangling += result.rank[v];
-
-    // Ship the per-vertex contributions boundary-first; the dangling
-    // allreduce rides the in-flight exchange. At depth >= 1 the
-    // *previous* superstep's ghost contributions drain into `contrib`
-    // between interior chunks instead, and this superstep's refresh is
-    // carried into the next.
-    pipe.superstep(
-        comm, contrib,
-        [&](lid_t v) {
-          const count_t d = g.degree(v);
-          contrib[v] =
-              d == 0 ? 0.0 : result.rank[v] / static_cast<double>(d);
-        },
-        [&] { dangling = comm.allreduce_sum(dangling); });
-
-    double residual = 0.0;
-    for (lid_t v = 0; v < g.n_local(); ++v) {
-      double sum = 0.0;
-      for (const lid_t u : g.neighbors(v)) sum += contrib[u];
-      const double next =
-          (1.0 - damping) / n + damping * (sum + dangling / n);
-      residual += std::abs(next - result.rank[v]);
-      result.rank[v] = next;
-    }
-    ++result.info.supersteps;
-    // Residual stop (tol == 0 keeps the fixed-iteration contract and
-    // its collective count).
-    if (tol > 0.0 && comm.allreduce_sum(residual) <= tol) break;
-  }
-  pipe.flush(comm, contrib);  // no-op at depth 0
-
-  // Epilogue: refresh the ghost ranks while the mass check reduces —
-  // the allreduce runs against the in-flight exchange instead of
-  // after it.
-  halo.prefetch_next(comm, result.rank);
-  double local_sum = 0.0;
-  for (lid_t v = 0; v < g.n_local(); ++v) local_sum += result.rank[v];
-  result.sum = comm.allreduce_sum(local_sum);
-  halo.finish_prefetch(comm, result.rank);
+  result.info = detail::to_run_info(st);
+  result.rank = std::move(p.rank);
+  result.sum = p.sum;
   return result;
 }
 

@@ -2,83 +2,21 @@
 
 #include "analytics/analytics.hpp"
 #include "analytics/detail.hpp"
-#include "comm/dest_buckets.hpp"
-#include "comm/exchanger.hpp"
-#include "graph/frontier.hpp"
-#include "graph/halo.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
 
 namespace xtra::analytics {
 
-namespace {
-
-/// BFS over the active subgraph, following out- or in-edges. Marks
-/// reached owned+ghost vertices in `reached`. Collective. The caller's
-/// exchanger is reused across levels (and both sweeps); each level's
-/// notification exchange is overlapped — started before, and drained
-/// after, the local frontier expansion.
-void masked_bfs(sim::Comm& comm, comm::Exchanger& ex,
-                const graph::DistGraph& g, gid_t root,
-                const std::vector<std::uint8_t>& active, bool use_in_edges,
-                std::vector<std::uint8_t>& reached, count_t& supersteps) {
-  reached.assign(g.n_total(), 0);
-  std::vector<lid_t> frontier;
-  if (g.owner_of_gid(root) == comm.rank()) {
-    const lid_t l = g.lid_of(root);
-    XTRA_ASSERT(l != kInvalidLid);
-    if (active[l]) {
-      reached[l] = 1;
-      frontier.push_back(l);
-    }
-  }
-  comm::DestBuckets<gid_t> buckets;
-  std::vector<gid_t> notify;
-  std::vector<lid_t> next;
-  while (comm.allreduce_or(!frontier.empty())) {
-    graph::expand_frontier_overlapped(
-        comm, g, ex, buckets, notify, frontier,
-        [&](lid_t v) {
-          return use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
-        },
-        [&](lid_t u) -> bool { return reached[u] || !active[u]; },
-        [&](lid_t u) {
-          if (reached[u] || !active[u]) return false;
-          reached[u] = 1;
-          return true;
-        },
-        next);
-    std::swap(frontier, next);
-    ++supersteps;
-  }
-}
-
-}  // namespace
-
-SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g) {
+SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g,
+                      const engine::Config& cfg) {
   SccResult result;
   detail::Meter meter(comm, result.info);
-  graph::HaloPlan halo(comm, g);
 
-  // --- Trim: vertices with no active in- or out-neighbor are
-  // singleton SCCs; peel them iteratively (MultiStep stage 1).
-  std::vector<std::uint8_t> active(g.n_total(), 1);
-  bool changed = true;
-  while (comm.allreduce_or(changed)) {
-    changed = false;
-    for (lid_t v = 0; v < g.n_local(); ++v) {
-      if (!active[v]) continue;
-      count_t out_live = 0, in_live = 0;
-      for (const lid_t u : g.neighbors(v))
-        if (active[u] && u != v) ++out_live;
-      for (const lid_t u : g.in_neighbors(v))
-        if (active[u] && u != v) ++in_live;
-      if (out_live == 0 || in_live == 0) {
-        active[v] = 0;
-        changed = true;
-      }
-    }
-    halo.exchange(comm, active);
-    ++result.info.supersteps;
-  }
+  // --- Trim (MultiStep stage 1): peel vertices with no live in- or
+  // out-neighbor; the surviving active set is a unique fixpoint.
+  SccTrimProgram trim;
+  result.info.supersteps += engine::run(comm, g, trim, cfg).supersteps;
+  const std::vector<std::uint8_t>& active = trim.active;
 
   // --- Pivot: the highest-degree active vertex (globally agreed).
   count_t best_deg = -1;
@@ -98,25 +36,29 @@ SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g) {
   if (best_deg != global_deg) best_gid = std::numeric_limits<gid_t>::max();
   const gid_t pivot = comm.allreduce_min(best_gid);
 
-  // --- Forward/backward reachability from the pivot; the SCC is the
-  // intersection (MultiStep stage 2).
-  std::vector<std::uint8_t> fw, bw;
-  comm::Exchanger ex;
-  masked_bfs(comm, ex, g, pivot, active, /*use_in_edges=*/false, fw,
-             result.info.supersteps);
-  masked_bfs(comm, ex, g, pivot, active, /*use_in_edges=*/true, bw,
-             result.info.supersteps);
+  // --- Forward/backward reachability from the pivot over the active
+  // subgraph; the SCC is the intersection (MultiStep stage 2).
+  BfsProgram fw, bw;
+  fw.root = bw.root = pivot;
+  fw.active = bw.active = &active;
+  bw.use_in_edges = true;
+  result.info.supersteps += engine::run(comm, g, fw, cfg).supersteps;
+  result.info.supersteps += engine::run(comm, g, bw, cfg).supersteps;
 
   result.in_scc.assign(g.n_total(), 0);
   count_t local_size = 0;
   for (lid_t v = 0; v < g.n_total(); ++v) {
-    if (fw[v] && bw[v]) {
+    if (fw.levels[v] != kInfDist && bw.levels[v] != kInfDist) {
       result.in_scc[v] = 1;
       if (g.is_owned(v)) ++local_size;
     }
   }
   result.scc_size = comm.allreduce_sum(local_size);
   return result;
+}
+
+SccResult largest_scc(sim::Comm& comm, const graph::DistGraph& g) {
+  return largest_scc(comm, g, engine::Config{});
 }
 
 }  // namespace xtra::analytics

@@ -1,0 +1,33 @@
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
+
+namespace xtra::analytics {
+
+SsspResult sssp(sim::Comm& comm, const graph::DistGraph& g, gid_t root,
+                count_t delta, count_t max_weight,
+                std::uint64_t weight_seed, const engine::Config& cfg) {
+  DeltaSsspProgram p;
+  p.root = root;
+  p.delta = delta;
+  p.max_weight = max_weight;
+  p.weight_seed = weight_seed;
+  const engine::Stats st = engine::run(comm, g, p, cfg);
+
+  SsspResult result;
+  result.info = detail::to_run_info(st);
+  result.dist = std::move(p.dist);
+  count_t reached = 0;
+  count_t max_dist = 0;
+  for (lid_t v = 0; v < g.n_local(); ++v)
+    if (result.dist[v] != kInfDist) {
+      ++reached;
+      max_dist = std::max(max_dist, result.dist[v]);
+    }
+  result.reached = comm.allreduce_sum(reached);
+  result.max_dist = comm.allreduce_max(max_dist);
+  return result;
+}
+
+}  // namespace xtra::analytics

@@ -1,0 +1,25 @@
+#include "analytics/analytics.hpp"
+#include "analytics/detail.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
+
+namespace xtra::analytics {
+
+TriangleResult triangle_count(sim::Comm& comm, const graph::DistGraph& g,
+                              count_t sample_cap, std::uint64_t seed,
+                              const engine::Config& cfg) {
+  TriangleCountProgram p;
+  p.sample_cap = sample_cap;
+  p.seed = seed;
+  engine::Config one_shot = cfg;
+  one_shot.max_supersteps = 1;  // single query superstep
+  const engine::Stats st = engine::run(comm, g, p, one_shot);
+
+  TriangleResult result;
+  result.info = detail::to_run_info(st);
+  result.triangles = p.triangles;
+  result.sampled_centers = p.sampled_centers;
+  return result;
+}
+
+}  // namespace xtra::analytics

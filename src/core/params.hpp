@@ -68,6 +68,14 @@ struct Params {
   /// the effective depth at 1.
   int pipeline_depth = 0;
 
+  /// Coalescing cadence for the engine-run analytics' sparse ghost
+  /// refresh (engine::Config::coalesce_every): > 0 batches changed
+  /// per-vertex values across that many supersteps in a
+  /// comm::CoalescingExchanger before flushing. 0 keeps the full
+  /// per-superstep halo refresh; 1 flushes every superstep
+  /// (bit-identical to 0).
+  int coalesce_every = 0;
+
   std::uint64_t seed = 1;
 };
 

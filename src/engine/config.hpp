@@ -1,0 +1,85 @@
+// engine::Config — the one knob bag every vertex program runs under.
+//
+// PRs 2-4 grew the comm substrate a transport strategy at a time
+// (memory-bounded phasing, hierarchical sharding, cross-superstep
+// pipelining, coalescing), and each analytics kernel exposed whichever
+// subset had been hand-plumbed into it. Config unifies the scattered
+// knobs so every kernel executed by engine::run inherits every
+// transport strategy; from_params() maps the partitioner-facing
+// core::Params fields onto it so benches drive analytics and
+// partitioning from one struct.
+#pragma once
+
+#include <limits>
+
+#include "comm/shard_policy.hpp"
+#include "core/params.hpp"
+#include "util/types.hpp"
+
+namespace xtra::engine {
+
+struct Config {
+  /// Routing of every exchange the engine issues (halo refreshes,
+  /// frontier notifications, census/query traffic): flat alltoallv or
+  /// the two-level node-aware path. Results are bit-identical either
+  /// way. Same value required on every rank.
+  comm::ShardPolicy shard_policy = comm::ShardPolicy::kFlat;
+
+  /// Per-phase send-payload cap (chunk size) for the engine's
+  /// exchanges, in bytes; 0 = unbounded single alltoallv. Results are
+  /// bit-identical for any value. Same value on every rank.
+  count_t max_exchange_bytes = 0;
+
+  /// Supersteps a dense program's ghost refresh may stay in flight
+  /// (graph::SuperstepPipeline). 0 drains in-step — bit-identical to
+  /// the blocking exchange; >= 1 carries the refresh into the next
+  /// superstep, so updates may read ghosts up to one superstep stale.
+  /// Only meaningful for dense programs; the substrate's one-in-flight
+  /// rule caps the effective depth at 1.
+  int pipeline_depth = 0;
+
+  /// > 0 switches a change-converging dense program's ghost refresh
+  /// from a full per-superstep halo exchange to sparse changed-value
+  /// updates batched in a comm::CoalescingExchanger and flushed every
+  /// `coalesce_every` supersteps (and at convergence). Peers read
+  /// values up to coalesce_every-1 supersteps stale between flushes;
+  /// coalesce_every == 1 delivers every superstep and is bit-identical
+  /// to the full refresh. Takes precedence over pipeline_depth.
+  int coalesce_every = 0;
+
+  /// Residual stop for fixed-iteration dense programs (PageRank):
+  /// > 0 adds one allreduce per superstep and stops when the summed
+  /// residual the program accumulates drops to tol; 0 keeps the
+  /// fixed-iteration contract (and its collective count).
+  double tol = 0.0;
+
+  /// Superstep cap. kUnbounded (the default) runs change-converging
+  /// programs to convergence; fixed-iteration programs must set a
+  /// non-negative cap (0 runs no supersteps at all — init and finish
+  /// only, the legacy zero-iteration contract).
+  static constexpr count_t kUnbounded = -1;
+  count_t max_supersteps = kUnbounded;
+
+  /// Map the partitioner-facing knobs onto an engine config (tol and
+  /// max_supersteps stay per-kernel — set them after).
+  static Config from_params(const core::Params& p) {
+    Config cfg;
+    cfg.shard_policy = p.shard_policy;
+    cfg.max_exchange_bytes = p.max_exchange_bytes;
+    cfg.pipeline_depth = p.pipeline_depth;
+    cfg.coalesce_every = p.coalesce_every;
+    return cfg;
+  }
+};
+
+namespace detail {
+
+/// The loop bound cfg.max_supersteps encodes (negative = unbounded).
+inline count_t superstep_limit(const Config& cfg) {
+  return cfg.max_supersteps >= 0 ? cfg.max_supersteps
+                                 : std::numeric_limits<count_t>::max();
+}
+
+}  // namespace detail
+
+}  // namespace xtra::engine

@@ -1,0 +1,80 @@
+// The unified vertex-program engine API — the only way analytics run.
+//
+// After PRs 2-4 each kernel in src/analytics/ hand-rolled its own
+// superstep loop and exposed whichever transport knobs had been
+// plumbed into it by hand. The engine inverts that: a kernel is a
+// small *program* struct (its per-vertex update plus init/epilogue
+// hooks), `engine::Config` is the one knob bag (shard policy, chunk
+// size, pipeline depth, coalescing cadence, tolerance, superstep
+// cap), and `engine::run(comm, g, program, cfg)` owns the superstep
+// loop — so every comm optimization the substrate grows is inherited
+// by every kernel at once, the way RFP's uniform interface hides the
+// transport-mode choice from its callers.
+//
+// Two execution modes, dispatched on the program's shape:
+//  * dense (typename P::Value): one published value per vertex,
+//    refreshed through HaloPlan/SuperstepPipeline — or, at
+//    cfg.coalesce_every > 0, as sparse changed-value records batched
+//    in a CoalescingExchanger. See engine/dense.hpp.
+//  * frontier (typename P::Notify): level-synchronous expansion of an
+//    active set through graph::FrontierStepper, ghost relaxations
+//    travelling as program-defined wire records. See
+//    engine/frontier.hpp.
+//
+// Both return engine::Stats — RunInfo's triple merged with the
+// aggregated ExchangeStats ledger of every wire engine the run owned,
+// JSON-exportable. The concrete programs for the paper's six Fig-8
+// workloads plus the two engine-native ones (delta-capped SSSP,
+// query-based approximate triangle count) live in
+// analytics/programs.hpp; the legacy analytics:: entry points are
+// thin deprecated wrappers over them, bit-identical at default knobs.
+#pragma once
+
+#include <concepts>
+
+#include "engine/config.hpp"
+#include "engine/dense.hpp"
+#include "engine/frontier.hpp"
+#include "engine/stats.hpp"
+
+namespace xtra::engine {
+
+/// Dense mode: publishes one P::Value per vertex in ctx.values.
+template <typename P>
+concept DenseVertexProgram =
+    requires(P p, DenseContext<P>& ctx, lid_t v) {
+      typename P::Value;
+      p.init(ctx);
+      p.update(ctx, v);
+    };
+
+/// Frontier mode: expands an active set, shipping P::Notify records.
+template <typename P>
+concept FrontierVertexProgram =
+    requires(P p, FrontierContext<P>& ctx, lid_t v,
+             const typename P::Notify& n) {
+      typename P::Notify;
+      p.init(ctx);
+      p.nbrs(ctx, v);
+      { p.improves(ctx, v, v) } -> std::convertible_to<bool>;
+      { p.relax(ctx, v, v) } -> std::convertible_to<bool>;
+      { p.make_notify(ctx, v) } -> std::convertible_to<typename P::Notify>;
+      { p.receive(ctx, n) } -> std::convertible_to<lid_t>;
+    };
+
+/// Collective: execute a vertex program under cfg's transport knobs.
+/// Result state lives in the program object; returns the unified
+/// measurement.
+template <DenseVertexProgram P>
+Stats run(sim::Comm& comm, const graph::DistGraph& g, P& p,
+          const Config& cfg = {}) {
+  return run_dense(comm, g, p, cfg);
+}
+
+template <FrontierVertexProgram P>
+Stats run(sim::Comm& comm, const graph::DistGraph& g, P& p,
+          const Config& cfg = {}) {
+  return run_frontier(comm, g, p, cfg);
+}
+
+}  // namespace xtra::engine

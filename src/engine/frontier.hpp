@@ -1,0 +1,107 @@
+// Frontier vertex-program driver: the one level-synchronous loop
+// behind BFS-style traversals (harmonic centrality's sampled BFS,
+// SCC's masked forward/backward reachability, delta-capped SSSP).
+//
+// A frontier program owns a frontier of active owned vertices; each
+// superstep the engine expands it one level through
+// graph::FrontierStepper — ghost relaxations staged and shipped as
+// `Notify` records while the owned relaxations run mid-flight — and
+// the program's hooks define what "relax" means. Every transport knob
+// in engine::Config (shard policy, chunk size) applies to the
+// notification exchange with no per-kernel plumbing.
+//
+// Program shape (see analytics/programs.hpp for the concrete three):
+//
+//   struct P {
+//     using Notify = ...;            // trivially copyable wire record
+//     void init(Ctx&);               // seed data + ctx.frontier
+//     std::span<const lid_t> nbrs(Ctx&, lid_t v);
+//     bool improves(Ctx&, lid_t v, lid_t u);   // read-only edge test
+//     bool relax(Ctx&, lid_t v, lid_t u);      // apply; true = improved
+//     Notify make_notify(Ctx&, lid_t ghost);   // post-scan wire record
+//     lid_t receive(Ctx&, const Notify&);      // on owner; kInvalidLid
+//     void post_level(Ctx&);         // optional: runs after each level
+//                                    //   (may rewrite ctx.next — the
+//                                    //   delta-cap hook); collective-
+//                                    //   safe (called on every rank)
+//     void finish(Ctx&);             // optional epilogue
+//   };
+//
+// The loop terminates when every rank's frontier is empty (one
+// allreduce per level, exactly the PR-4 BFS contract) or at
+// cfg.max_supersteps. During a level's hooks ctx.superstep is the
+// level being expanded (root = level 0); it increments before
+// post_level, so post_level sees the number of completed levels.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "engine/stats.hpp"
+#include "graph/dist_graph.hpp"
+#include "graph/frontier.hpp"
+#include "mpisim/comm.hpp"
+#include "util/timer.hpp"
+
+namespace xtra::engine {
+
+/// Everything a frontier program's hooks see. The engine swaps
+/// `frontier` and `next` after post_level; programs seed `frontier`
+/// in init() and may rewrite `next` in post_level() (defer vertices,
+/// refill from a program-owned pool).
+template <typename P>
+struct FrontierContext {
+  FrontierContext(sim::Comm& comm_, const graph::DistGraph& g_,
+                  const Config& cfg_)
+      : comm(comm_), g(g_), cfg(cfg_) {}
+
+  sim::Comm& comm;
+  const graph::DistGraph& g;
+  const Config& cfg;
+
+  std::vector<lid_t> frontier;
+  std::vector<lid_t> next;
+  count_t superstep = 0;  ///< levels completed; current level in hooks
+};
+
+/// Collective: execute a frontier vertex program until the frontier
+/// empties on every rank (or the superstep cap) under cfg's transport
+/// knobs. Result state lives in the program object; the return value
+/// is the unified measurement.
+template <typename P>
+Stats run_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
+                   const Config& cfg) {
+  Stats stats;
+  const count_t start_bytes = comm.stats().bytes_sent;
+  Timer timer;
+
+  FrontierContext<P> ctx{comm, g, cfg};
+  graph::FrontierStepper<typename P::Notify> stepper(cfg.max_exchange_bytes,
+                                                     cfg.shard_policy);
+  p.init(ctx);
+
+  const count_t limit = detail::superstep_limit(cfg);
+  while (ctx.superstep < limit && comm.allreduce_or(!ctx.frontier.empty())) {
+    stepper.step(
+        comm, g, ctx.frontier, ctx.next,
+        [&](lid_t v) { return p.nbrs(ctx, v); },
+        [&](lid_t v, lid_t u) { return p.improves(ctx, v, u); },
+        [&](lid_t v, lid_t u) { return p.relax(ctx, v, u); },
+        [&](lid_t l) { return p.make_notify(ctx, l); },
+        [&](const typename P::Notify& n) { return p.receive(ctx, n); });
+    ++ctx.superstep;
+    if constexpr (requires { p.post_level(ctx); }) p.post_level(ctx);
+    std::swap(ctx.frontier, ctx.next);
+  }
+
+  if constexpr (requires { p.finish(ctx); }) p.finish(ctx);
+
+  stats.supersteps = ctx.superstep;
+  merge(stats.exchange, stepper.exchanger().stats());
+  stats.seconds = timer.seconds();
+  stats.comm_bytes = comm.stats().bytes_sent - start_bytes;
+  return stats;
+}
+
+}  // namespace xtra::engine

@@ -1,0 +1,58 @@
+#include "engine/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xtra::engine {
+
+void merge(comm::ExchangeStats& into, const comm::ExchangeStats& from) {
+  into.exchanges += from.exchanges;
+  into.phases += from.phases;
+  into.records_sent += from.records_sent;
+  into.bytes_sent += from.bytes_sent;
+  into.seconds += from.seconds;
+  into.inter_node_bytes += from.inter_node_bytes;
+  into.intra_node_bytes += from.intra_node_bytes;
+  into.inter_node_msgs += from.inter_node_msgs;
+  into.coalesced_flushes += from.coalesced_flushes;
+  into.overlapped += from.overlapped;
+  into.max_inflight_bytes =
+      std::max(into.max_inflight_bytes, from.max_inflight_bytes);
+  into.start_seconds += from.start_seconds;
+  into.finish_seconds += from.finish_seconds;
+  into.drained_incrementally += from.drained_incrementally;
+  into.pipeline_carried += from.pipeline_carried;
+  into.max_pipeline_depth =
+      std::max(into.max_pipeline_depth, from.max_pipeline_depth);
+}
+
+std::string Stats::to_json() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"seconds\": %.6f, \"comm_bytes\": %lld, \"supersteps\": %lld, "
+      "\"exchanges\": %lld, \"phases\": %lld, \"records_sent\": %lld, "
+      "\"bytes_sent\": %lld, \"inter_node_bytes\": %lld, "
+      "\"intra_node_bytes\": %lld, \"inter_node_msgs\": %lld, "
+      "\"coalesced_flushes\": %lld, \"overlapped\": %lld, "
+      "\"max_inflight_bytes\": %lld, \"drained_incrementally\": %lld, "
+      "\"pipeline_carried\": %lld, \"max_pipeline_depth\": %lld}",
+      seconds, static_cast<long long>(comm_bytes),
+      static_cast<long long>(supersteps),
+      static_cast<long long>(exchange.exchanges),
+      static_cast<long long>(exchange.phases),
+      static_cast<long long>(exchange.records_sent),
+      static_cast<long long>(exchange.bytes_sent),
+      static_cast<long long>(exchange.inter_node_bytes),
+      static_cast<long long>(exchange.intra_node_bytes),
+      static_cast<long long>(exchange.inter_node_msgs),
+      static_cast<long long>(exchange.coalesced_flushes),
+      static_cast<long long>(exchange.overlapped),
+      static_cast<long long>(exchange.max_inflight_bytes),
+      static_cast<long long>(exchange.drained_incrementally),
+      static_cast<long long>(exchange.pipeline_carried),
+      static_cast<long long>(exchange.max_pipeline_depth));
+  return buf;
+}
+
+}  // namespace xtra::engine

@@ -20,31 +20,35 @@ count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
     frontier.push_back(l);
   }
 
-  // Persistent across levels: notification bucketing and the wire
-  // engine reuse their buffers every superstep. Each level runs the
-  // shared overlapped frontier step: the notify exchange starts as
-  // soon as the ghost pass staged it and drains after the
+  // Persistent across levels: the stepper's notification bucketing
+  // and wire engine reuse their buffers every superstep. Each level
+  // runs the shared overlapped frontier step: the notify exchange
+  // starts as soon as the ghost pass staged it and drains after the
   // owned-frontier expansion.
-  comm::DestBuckets<gid_t> buckets;
-  comm::Exchanger ex;
-  std::vector<gid_t> notify;  // ghost gids reached this level
+  FrontierStepper<gid_t> stepper;
   std::vector<lid_t> next;
 
   count_t level = 0;
   count_t max_level = 0;
+  const auto try_mark = [&](lid_t u) {
+    if (levels[u] != kUnreached) return false;
+    levels[u] = level + 1;
+    return true;
+  };
   while (comm.allreduce_or(!frontier.empty())) {
-    expand_frontier_overlapped(
-        comm, g, ex, buckets, notify, frontier,
+    stepper.step(
+        comm, g, frontier, next,
         [&](lid_t v) {
           return use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
         },
-        [&](lid_t u) { return levels[u] != kUnreached; },
-        [&](lid_t u) {
-          if (levels[u] != kUnreached) return false;
-          levels[u] = level + 1;
-          return true;
-        },
-        next);
+        [&](lid_t /*v*/, lid_t u) { return levels[u] == kUnreached; },
+        [&](lid_t /*v*/, lid_t u) { return try_mark(u); },
+        [&](lid_t l) { return g.gid_of(l); },
+        [&](const gid_t gid) {
+          const lid_t l = g.lid_of(gid);
+          XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
+          return try_mark(l) ? l : kInvalidLid;
+        });
     if (!next.empty()) max_level = level + 1;
     std::swap(frontier, next);
     ++level;

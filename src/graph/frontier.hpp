@@ -1,16 +1,25 @@
 // Shared overlapped frontier-expansion step for level-synchronous
-// BFS-style kernels (graph::bfs_levels, SCC's masked BFS).
+// traversal kernels (graph::bfs_levels, SCC's masked reachability,
+// the engine's frontier vertex programs, delta-capped SSSP).
 //
 // One superstep of the frontier protocol, overlapped: a single
-// adjacency scan marks ghost neighbors and stages the owner
+// adjacency scan relaxes ghost neighbors and stages the owner
 // notifications (so the exchange starts as early as possible) while
-// merely *collecting* the owned candidates; the candidate marking and
-// next-frontier compaction run while the notifications are on the
-// wire, and the arrivals are applied after the drain. The marks and
-// the next-frontier order are identical to a single interleaved scan
-// — ghost and owned neighbor sets are disjoint, and first-hit-wins
-// compaction preserves traversal order — so callers get the overlap
-// for free without a second edge traversal.
+// merely *collecting* the owned candidate edges; the owned
+// relaxations and next-frontier compaction run while the
+// notifications are on the wire, and the arrivals are applied after
+// the drain. For monotone relaxations (BFS's first-hit mark, SSSP's
+// min-distance) the marks and the next-frontier order are identical
+// to a single interleaved scan — ghost and owned neighbor sets are
+// disjoint, and first-improvement-wins compaction preserves traversal
+// order — so callers get the overlap for free without a second edge
+// traversal.
+//
+// Generalized from the PR-4 gid-only step: the wire record is now a
+// caller-chosen `Notify` type (BFS ships bare gids; SSSP ships
+// {gid, dist} pairs), built at staging time from the ghost's
+// *post-scan* state so several relaxations of one ghost in a level
+// collapse into one record carrying the best value.
 //
 // The invariant that makes the overlap safe lives here, once: the
 // DestBuckets' staging is stable from commit() until the next
@@ -19,6 +28,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "comm/dest_buckets.hpp"
@@ -29,58 +39,106 @@
 
 namespace xtra::graph {
 
-/// Collective: expand `frontier` by one level. nbrs(v) yields the
-/// neighbor span to follow; already_marked(u) is the read-only
-/// visited-or-ineligible test; try_mark(u) returns true iff u was
-/// unvisited-and-eligible and is now marked (called at most once per
-/// newly reached vertex: ghosts during the scan, owned candidates
-/// mid-flight, arrivals on the owner). Newly reached owned vertices
-/// land in `next` (which is cleared); buckets/notify are caller-owned
-/// scratch reused across levels.
-template <typename Nbrs, typename Marked, typename TryMark>
-void expand_frontier_overlapped(sim::Comm& comm, const DistGraph& g,
-                                comm::Exchanger& ex,
-                                comm::DestBuckets<gid_t>& buckets,
-                                std::vector<gid_t>& notify,
-                                const std::vector<lid_t>& frontier,
-                                Nbrs&& nbrs, Marked&& already_marked,
-                                TryMark&& try_mark,
-                                std::vector<lid_t>& next) {
-  next.clear();
-  buckets.begin(comm.size());
-  notify.clear();
-  // Single adjacency scan: ghost neighbors are marked and staged
-  // immediately (they become the wire notifications), owned neighbors
-  // are deferred — pre-filtered by the read-only test but collected
-  // unmarked into `next`, so the marking work happens mid-flight
-  // instead of before the exchange starts and `next` never holds
-  // long-visited vertices.
-  for (const lid_t v : frontier)
-    for (const lid_t u : nbrs(v)) {
-      if (g.is_owned(u)) {
-        if (!already_marked(u))
-          next.push_back(u);  // candidate; marked (and deduped) below
-      } else if (try_mark(u)) {
-        notify.push_back(g.gid_of(u));
-        buckets.count(g.owner_of(u));
+/// Persistent scratch + wire engine for a frontier traversal: the
+/// notification bucketing, the per-level candidate/touched lists, and
+/// the newly-reached dedup mask all reuse their buffers every level.
+///
+/// Hook contract per step(comm, g, frontier, next, ...):
+///  * nbrs(v) — neighbor span (lids) to follow out of frontier vertex v
+///  * improves(v, u) — read-only test: could the edge (v, u) improve
+///    u right now? (BFS: u unreached; SSSP: dist[v] + w < dist[u])
+///  * relax(v, u) — apply the edge; returns whether u actually
+///    improved. Called at scan time for ghost u (the local ghost copy
+///    absorbs the best value) and mid-flight for owned candidates (so
+///    the marking work overlaps the wire). Must be monotone: a later
+///    relax may only improve on an earlier one.
+///  * make_notify(l) — wire record for touched ghost l, built after
+///    the scan (reads l's final post-scan state)
+///  * receive(n) — apply an arrival on the owner; returns the owned
+///    lid to add to the next frontier, or kInvalidLid when the
+///    arrival did not improve it.
+/// Newly improved owned vertices land in `next` (cleared first),
+/// deduplicated: candidates in first-improvement scan order, then
+/// arrivals in exchange order — the PR-4 ordering, unchanged.
+template <typename Notify>
+class FrontierStepper {
+ public:
+  explicit FrontierStepper(count_t max_send_bytes = 0,
+                           comm::ShardPolicy policy = comm::ShardPolicy::kFlat)
+      : ex_(max_send_bytes, policy) {}
+
+  template <typename Nbrs, typename Improves, typename Relax,
+            typename MakeNotify, typename Receive>
+  void step(sim::Comm& comm, const DistGraph& g,
+            const std::vector<lid_t>& frontier, std::vector<lid_t>& next,
+            Nbrs&& nbrs, Improves&& improves, Relax&& relax,
+            MakeNotify&& make_notify, Receive&& receive) {
+    next.clear();
+    // Lazily sized, stamp-cleared mask: marked[l] says l was already
+    // admitted this level (owned: into next; ghost: into the notify
+    // list), so duplicates collapse without a full per-level clear.
+    marked_.resize(static_cast<std::size_t>(g.n_total()), 0);
+    for (const lid_t l : stamped_) marked_[l] = 0;
+    stamped_.clear();
+    touched_.clear();
+    cand_.clear();
+
+    // Single adjacency scan: ghost neighbors are relaxed and staged
+    // immediately (they become the wire notifications), owned
+    // neighbors are deferred — pre-filtered by the read-only test but
+    // collected unrelaxed as (source, target) candidate edges, so the
+    // relaxation work happens mid-flight instead of before the
+    // exchange starts.
+    for (const lid_t v : frontier)
+      for (const lid_t u : nbrs(v)) {
+        if (g.is_owned(u)) {
+          if (improves(v, u)) cand_.push_back({v, u});
+        } else if (relax(v, u) && !marked_[u]) {
+          marked_[u] = 1;
+          stamped_.push_back(u);
+          touched_.push_back(u);
+        }
+      }
+    buckets_.begin(comm.size());
+    for (const lid_t l : touched_) buckets_.count(g.owner_of(l));
+    buckets_.commit();
+    for (const lid_t l : touched_)
+      buckets_.push(g.owner_of(l), make_notify(l));
+    ex_.start_inplace(comm, buckets_);
+
+    // Mid-flight: relax the owned candidates while the notifications
+    // travel — first improvement admits the vertex, so the surviving
+    // order equals the single interleaved scan's.
+    for (const auto& [v, u] : cand_)
+      if (relax(v, u) && !marked_[u]) {
+        marked_[u] = 1;
+        stamped_.push_back(u);
+        next.push_back(u);
+      }
+    const std::span<const Notify> arrivals = ex_.finish<Notify>(comm);
+    for (const Notify& n : arrivals) {
+      const lid_t l = receive(n);
+      if (l == kInvalidLid) continue;
+      XTRA_ASSERT(g.is_owned(l));
+      if (!marked_[l]) {
+        marked_[l] = 1;
+        stamped_.push_back(l);
+        next.push_back(l);
       }
     }
-  buckets.commit();
-  for (const gid_t gid : notify) buckets.push(g.owner_of_gid(gid), gid);
-  ex.start_inplace(comm, buckets);
-  // Mid-flight: mark the owned candidates while the notifications
-  // travel, compacting in place — first hit wins, so the surviving
-  // order equals the single interleaved scan's.
-  std::size_t w = 0;
-  for (const lid_t u : next)
-    if (try_mark(u)) next[w++] = u;
-  next.resize(w);
-  const std::span<const gid_t> arrivals = ex.finish<gid_t>(comm);
-  for (const gid_t gid : arrivals) {
-    const lid_t l = g.lid_of(gid);
-    XTRA_ASSERT(l != kInvalidLid && g.is_owned(l));
-    if (try_mark(l)) next.push_back(l);
   }
-}
+
+  /// The wire engine, for stats readout and knob changes.
+  comm::Exchanger& exchanger() { return ex_; }
+  const comm::Exchanger& exchanger() const { return ex_; }
+
+ private:
+  comm::Exchanger ex_;
+  comm::DestBuckets<Notify> buckets_;
+  std::vector<std::pair<lid_t, lid_t>> cand_;  ///< owned candidate edges
+  std::vector<lid_t> touched_;                 ///< ghosts to notify
+  std::vector<std::uint8_t> marked_;           ///< admitted-this-level mask
+  std::vector<lid_t> stamped_;                 ///< marked_ entries to clear
+};
 
 }  // namespace xtra::graph

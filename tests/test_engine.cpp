@@ -1,0 +1,526 @@
+// Tests for the unified vertex-program engine (src/engine/): the
+// wrapper-vs-engine bit-identity matrix across the transport knobs
+// ({flat, hierarchical} x {pipeline depth 0, 1} x {coalesce 0, 1, 3}),
+// the two engine-native workloads against serial oracles (delta-capped
+// SSSP vs Dijkstra, approximate triangle count vs an exact serial
+// count), and the Stats/Config plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "analytics/analytics.hpp"
+#include "analytics/programs.hpp"
+#include "engine/engine.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "graph/dist_graph.hpp"
+#include "mpisim/comm.hpp"
+
+namespace xtra::analytics {
+namespace {
+
+using graph::DistGraph;
+using graph::EdgeList;
+using graph::VertexDist;
+
+/// Gather a per-vertex result into gid order on every rank's view.
+template <typename T>
+std::vector<T> by_gid(sim::Comm& comm, const DistGraph& g,
+                      const std::vector<T>& vals) {
+  std::vector<T> global(g.n_global(), T{});
+  for (lid_t v = 0; v < g.n_local(); ++v) global[g.gid_of(v)] = vals[v];
+  comm.allreduce_max(global);
+  return global;
+}
+
+/// The knob matrix of the ISSUE: every transport configuration the
+/// engine must drive every kernel through.
+std::vector<engine::Config> knob_matrix() {
+  std::vector<engine::Config> cfgs;
+  for (const comm::ShardPolicy policy :
+       {comm::ShardPolicy::kFlat, comm::ShardPolicy::kHierarchical})
+    for (const int depth : {0, 1})
+      for (const int coalesce : {0, 1, 3}) {
+        engine::Config cfg;
+        cfg.shard_policy = policy;
+        cfg.pipeline_depth = depth;
+        cfg.coalesce_every = coalesce;
+        cfgs.push_back(cfg);
+      }
+  return cfgs;
+}
+
+std::string cfg_name(const engine::Config& cfg) {
+  return std::string(cfg.shard_policy == comm::ShardPolicy::kFlat
+                         ? "flat"
+                         : "hier") +
+         "/d" + std::to_string(cfg.pipeline_depth) + "/c" +
+         std::to_string(cfg.coalesce_every);
+}
+
+// ---------------------------------------------------------------------------
+// Wrapper-vs-engine bit-identity across the knob matrix. WCC and
+// k-core contract to unique fixpoints (min label, exact coreness), so
+// every cell must reproduce the default-knob wrapper bit for bit.
+
+TEST(EngineMatrix, WccBitIdenticalAcrossAllKnobs) {
+  const EdgeList el = gen::community_graph(2'000, 10, 0.7, 2.3, 5);
+  std::vector<gid_t> ref;
+  count_t ref_num = 0, ref_largest = 0;
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+    const ComponentsResult r = weakly_connected_components(comm, g);
+    const auto global = by_gid(comm, g, r.component);
+    if (comm.rank() == 0) {
+      ref = global;
+      ref_num = r.num_components;
+      ref_largest = r.largest_size;
+    }
+  });
+  for (const engine::Config& cfg : knob_matrix()) {
+    sim::run_world(
+        4,
+        [&](sim::Comm& comm) {
+          const DistGraph g =
+              build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+          WccProgram p;
+          engine::run(comm, g, p, cfg);
+          const auto global = by_gid(comm, g, p.component);
+          if (comm.rank() == 0) {
+            EXPECT_EQ(global, ref) << cfg_name(cfg);
+            EXPECT_EQ(p.num_components, ref_num) << cfg_name(cfg);
+            EXPECT_EQ(p.largest_size, ref_largest) << cfg_name(cfg);
+          }
+        },
+        /*ranks_per_node=*/2);
+  }
+}
+
+TEST(EngineMatrix, KCoreBitIdenticalAcrossAllKnobs) {
+  const EdgeList el = gen::erdos_renyi(1'500, 10, 7);
+  std::vector<count_t> ref;
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 5));
+    const KCoreResult r = kcore_approx(comm, g, 40);
+    const auto global = by_gid(comm, g, r.core);
+    if (comm.rank() == 0) ref = global;
+  });
+  for (const engine::Config& cfg : knob_matrix()) {
+    sim::run_world(
+        4,
+        [&](sim::Comm& comm) {
+          const DistGraph g =
+              build_dist_graph(comm, el, VertexDist::random(el.n, 4, 5));
+          KCoreProgram p;
+          engine::Config run_cfg = cfg;
+          run_cfg.max_supersteps = 40;
+          engine::run(comm, g, p, run_cfg);
+          const auto global = by_gid(comm, g, p.core);
+          if (comm.rank() == 0) {
+            EXPECT_EQ(global, ref) << cfg_name(cfg);
+          }
+        },
+        /*ranks_per_node=*/2);
+  }
+}
+
+// Community LP's majority vote is trajectory-dependent: only the
+// staleness-free cells (depth 0, coalesce <= 1) are bit-identical to
+// the wrapper; the stale cells must still converge to a valid
+// labeling on a planted-community graph.
+TEST(EngineMatrix, CommLpDepth0AndCoalesce1BitIdentical) {
+  EdgeList el;
+  el.n = 40;
+  for (gid_t base : {gid_t{0}, gid_t{20}})
+    for (gid_t a = base; a < base + 20; ++a)
+      for (gid_t b = a + 1; b < base + 20; ++b) el.edges.push_back({a, b});
+  el.edges.push_back({5, 25});  // single bridge
+  std::vector<gid_t> ref;
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 4));
+    const CommunityResult r = label_propagation(comm, g, 10);
+    const auto global = by_gid(comm, g, r.label);
+    if (comm.rank() == 0) ref = global;
+  });
+  for (const engine::Config& cfg : knob_matrix()) {
+    sim::run_world(
+        4,
+        [&](sim::Comm& comm) {
+          const DistGraph g =
+              build_dist_graph(comm, el, VertexDist::random(el.n, 4, 4));
+          CommLpProgram p;
+          engine::Config run_cfg = cfg;
+          run_cfg.max_supersteps = 10;
+          engine::run(comm, g, p, run_cfg);
+          const bool exact =
+              cfg.pipeline_depth == 0 && cfg.coalesce_every <= 1;
+          const auto global = by_gid(comm, g, p.label);
+          if (comm.rank() == 0 && exact) {
+            EXPECT_EQ(global, ref) << cfg_name(cfg);
+          }
+          // Stale or not, the planted communities must be recovered.
+          EXPECT_EQ(p.num_communities, 2) << cfg_name(cfg);
+          for (lid_t v = 0; v < g.n_local(); ++v)
+            EXPECT_EQ(p.label[v], g.gid_of(v) < 20 ? 0u : 20u)
+                << cfg_name(cfg);
+        },
+        /*ranks_per_node=*/2);
+  }
+}
+
+// PageRank is fixed-iteration: the transport knobs that preserve the
+// read schedule (policy, chunk size, depth 0) are bit-identical; a
+// depth-1 run reads one-superstep-stale ghost contributions but must
+// still conserve mass.
+TEST(EngineMatrix, PageRankPolicyAndChunkBitIdentical) {
+  const EdgeList el = gen::erdos_renyi(1'000, 8, 11);
+  std::vector<double> ref;
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+    const PageRankResult r = pagerank(comm, g, 12);
+    std::vector<double> global(g.n_global(), 0.0);
+    for (lid_t v = 0; v < g.n_local(); ++v)
+      global[g.gid_of(v)] = r.rank[v];
+    comm.allreduce_max(global);
+    if (comm.rank() == 0) ref = global;
+  });
+  for (const comm::ShardPolicy policy :
+       {comm::ShardPolicy::kFlat, comm::ShardPolicy::kHierarchical})
+    for (const count_t chunk : {count_t{0}, count_t{1} << 10}) {
+      sim::run_world(
+          4,
+          [&](sim::Comm& comm) {
+            const DistGraph g = build_dist_graph(
+                comm, el, VertexDist::random(el.n, 4, 3));
+            PageRankProgram p;
+            engine::Config cfg;
+            cfg.max_supersteps = 12;
+            cfg.shard_policy = policy;
+            cfg.max_exchange_bytes = chunk;
+            engine::run(comm, g, p, cfg);
+            std::vector<double> global(g.n_global(), 0.0);
+            for (lid_t v = 0; v < g.n_local(); ++v)
+              global[g.gid_of(v)] = p.rank[v];
+            comm.allreduce_max(global);
+            if (comm.rank() == 0) {
+              EXPECT_EQ(global, ref);
+            }
+            EXPECT_NEAR(p.sum, 1.0, 1e-9);
+          },
+          /*ranks_per_node=*/2);
+    }
+  // Depth 1: stale-but-contracting — run to residual convergence,
+  // where the one-superstep ghost lag has washed out and mass is
+  // conserved (mid-run iterates are not mass-conserving by design).
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+    PageRankProgram p;
+    engine::Config cfg;
+    cfg.max_supersteps = 400;
+    cfg.pipeline_depth = 1;
+    cfg.tol = 1e-10;
+    const engine::Stats st = engine::run(comm, g, p, cfg);
+    EXPECT_NEAR(p.sum, 1.0, 1e-8);
+    EXPECT_LT(st.supersteps, 400);  // the residual stop engaged
+  });
+}
+
+// The harmonic/SCC knob-plumbing gap: the Config overloads must
+// produce identical results under hierarchical routing.
+TEST(EngineMatrix, HarmonicAndSccIdenticalUnderHierarchicalRouting) {
+  const EdgeList directed = gen::webcrawl(2'000, 10, 3);
+  for (const comm::ShardPolicy policy :
+       {comm::ShardPolicy::kFlat, comm::ShardPolicy::kHierarchical}) {
+    sim::run_world(
+        4,
+        [&](sim::Comm& comm) {
+          const DistGraph g = build_dist_graph(
+              comm, directed, VertexDist::random(directed.n, 4, 3));
+          engine::Config cfg;
+          cfg.shard_policy = policy;
+          const HarmonicResult flat_h = harmonic_centrality(comm, g, 4, 9);
+          const HarmonicResult h =
+              harmonic_centrality(comm, g, 4, 9, cfg);
+          EXPECT_EQ(h.centrality, flat_h.centrality);
+          const SccResult flat_s = largest_scc(comm, g);
+          const SccResult s = largest_scc(comm, g, cfg);
+          EXPECT_EQ(s.scc_size, flat_s.scc_size);
+          EXPECT_EQ(s.in_scc, flat_s.in_scc);
+        },
+        /*ranks_per_node=*/2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The engine's BFS program against the graph-layer primitive.
+
+TEST(EngineFrontier, BfsProgramMatchesBfsLevels) {
+  const EdgeList el = gen::erdos_renyi(800, 6, 3);
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+    std::vector<count_t> levels;
+    const count_t ecc = graph::bfs_levels(comm, g, 1, levels);
+    BfsProgram p;
+    p.root = 1;
+    engine::run(comm, g, p);
+    EXPECT_EQ(p.ecc, ecc);
+    for (lid_t v = 0; v < g.n_total(); ++v) {
+      const count_t expect =
+          levels[v] == graph::kUnreached ? kInfDist : levels[v];
+      EXPECT_EQ(p.levels[v], expect);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Delta-capped SSSP against a serial Dijkstra oracle.
+
+std::vector<count_t> dijkstra(const EdgeList& el, gid_t root,
+                              std::uint64_t weight_seed,
+                              count_t max_weight) {
+  std::vector<std::vector<gid_t>> adj(el.n);
+  for (const auto& e : el.edges) {
+    if (e.u == e.v) continue;
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<count_t> dist(el.n, kInfDist);
+  using Item = std::pair<count_t, gid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[root] = 0;
+  pq.push({0, root});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const gid_t u : adj[v]) {
+      const count_t nd = d + edge_weight(v, u, weight_seed, max_weight);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+class SsspRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, SsspRanks, ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return "nranks_" + std::to_string(info.param);
+                         });
+
+TEST_P(SsspRanks, MatchesSerialDijkstraAcrossDeltas) {
+  const int nranks = GetParam();
+  const EdgeList el = gen::erdos_renyi(600, 5, 13);
+  const gid_t root = 3;
+  const std::uint64_t seed = 17;
+  const count_t max_weight = 16;
+  const std::vector<count_t> oracle = dijkstra(el, root, seed, max_weight);
+  for (const count_t delta : {count_t{1}, count_t{8}, count_t{1 << 20}}) {
+    sim::run_world(nranks, [&](sim::Comm& comm) {
+      const DistGraph g =
+          build_dist_graph(comm, el, VertexDist::random(el.n, nranks, 3));
+      const SsspResult r = sssp(comm, g, root, delta, max_weight, seed);
+      for (lid_t v = 0; v < g.n_local(); ++v)
+        EXPECT_EQ(r.dist[v], oracle[g.gid_of(v)])
+            << "gid " << g.gid_of(v) << " delta " << delta;
+      EXPECT_GT(r.info.supersteps, 0);
+    });
+  }
+}
+
+TEST(Sssp, PathGraphExactDistances) {
+  // 0-1-2-3-4 path: distances are the prefix sums of the edge weights.
+  EdgeList el;
+  el.n = 5;
+  for (gid_t v = 0; v + 1 < 5; ++v) el.edges.push_back({v, v + 1});
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const DistGraph g = build_dist_graph(comm, el, VertexDist::block(el.n, 2));
+    const SsspResult r = sssp(comm, g, 0, /*delta=*/4);
+    count_t expect = 0;
+    for (gid_t v = 0; v < 5; ++v) {
+      if (v > 0) expect += edge_weight(v - 1, v, 1, 16);
+      const lid_t l = g.lid_of(v);
+      if (l != kInvalidLid && g.is_owned(l)) {
+        EXPECT_EQ(r.dist[l], expect);
+      }
+    }
+    EXPECT_EQ(r.reached, 5);
+  });
+}
+
+// A tighter delta only reorders the relaxations — results must be
+// placement- and delta-invariant (asserted against the oracle above),
+// and unreachable vertices stay at kInfDist.
+TEST(Sssp, DisconnectedVerticesStayUnreached) {
+  EdgeList el;
+  el.n = 6;
+  el.edges = {{0, 1}, {1, 2}};  // 3, 4, 5 isolated
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const DistGraph g = build_dist_graph(comm, el, VertexDist::block(el.n, 2));
+    const SsspResult r = sssp(comm, g, 0);
+    EXPECT_EQ(r.reached, 3);
+    for (lid_t v = 0; v < g.n_local(); ++v)
+      if (g.gid_of(v) >= 3) {
+        EXPECT_EQ(r.dist[v], kInfDist);
+      }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Approximate triangle count against an exact serial count.
+
+count_t serial_triangles(const EdgeList& el) {
+  std::vector<std::vector<gid_t>> adj(el.n);
+  for (const auto& e : el.edges) {
+    if (e.u == e.v) continue;
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  count_t total = 0;
+  for (gid_t v = 0; v < el.n; ++v)
+    for (const gid_t a : adj[v])
+      for (const gid_t b : adj[v]) {
+        if (a >= b) continue;
+        if (std::binary_search(adj[a].begin(), adj[a].end(), b)) ++total;
+      }
+  return total / 3;
+}
+
+class TriangleRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, TriangleRanks, ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return "nranks_" + std::to_string(info.param);
+                         });
+
+TEST_P(TriangleRanks, ExactWhenUnderSampleCap) {
+  const int nranks = GetParam();
+  const EdgeList el = gen::community_graph(500, 8, 0.6, 2.3, 3);
+  const count_t exact = serial_triangles(el);
+  ASSERT_GT(exact, 0);
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, nranks, 5));
+    // Cap far above any wedge count: every query is staged, so the
+    // estimate is the exact count.
+    const TriangleResult r = triangle_count(comm, g, 1 << 20);
+    EXPECT_EQ(r.sampled_centers, 0);
+    EXPECT_DOUBLE_EQ(r.triangles, static_cast<double>(exact));
+  });
+}
+
+TEST(Triangles, SampledEstimateTracksExactCount) {
+  const EdgeList el = gen::community_graph(800, 12, 0.6, 2.3, 9);
+  const count_t exact = serial_triangles(el);
+  ASSERT_GT(exact, 0);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 2, 3));
+    const TriangleResult r = triangle_count(comm, g, /*sample_cap=*/64);
+    EXPECT_GT(r.sampled_centers, 0);
+    const double rel = r.triangles / static_cast<double>(exact);
+    EXPECT_GT(rel, 0.5);
+    EXPECT_LT(rel, 1.5);
+  });
+}
+
+TEST(Triangles, TriangleFreeGraphCountsZero) {
+  // Even cycle: no triangles.
+  EdgeList el;
+  el.n = 8;
+  for (gid_t v = 0; v < 8; ++v) el.edges.push_back({v, (v + 1) % 8});
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const DistGraph g = build_dist_graph(comm, el, VertexDist::block(el.n, 2));
+    const TriangleResult r = triangle_count(comm, g);
+    EXPECT_DOUBLE_EQ(r.triangles, 0.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Stats and Config plumbing.
+
+TEST(EngineStats, LedgerAndJsonExport) {
+  const EdgeList el = gen::erdos_renyi(500, 6, 3);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const DistGraph g = build_dist_graph(comm, el, VertexDist::block(el.n, 2));
+    WccProgram p;
+    const engine::Stats st = engine::run(comm, g, p);
+    EXPECT_GT(st.supersteps, 0);
+    EXPECT_GT(st.seconds, 0.0);
+    EXPECT_GT(st.exchange.exchanges, 0);
+    if (comm.size() > 1) {
+      EXPECT_GT(st.comm_bytes, 0);
+    }
+    const std::string json = st.to_json();
+    for (const char* key :
+         {"\"seconds\"", "\"comm_bytes\"", "\"supersteps\"",
+          "\"bytes_sent\"", "\"pipeline_carried\""})
+      EXPECT_NE(json.find(key), std::string::npos) << key;
+  });
+}
+
+TEST(EngineConfig, FromParamsMapsEveryKnob) {
+  core::Params params;
+  params.shard_policy = comm::ShardPolicy::kHierarchical;
+  params.max_exchange_bytes = 1 << 14;
+  params.pipeline_depth = 1;
+  params.coalesce_every = 3;
+  const engine::Config cfg = engine::Config::from_params(params);
+  EXPECT_EQ(cfg.shard_policy, comm::ShardPolicy::kHierarchical);
+  EXPECT_EQ(cfg.max_exchange_bytes, 1 << 14);
+  EXPECT_EQ(cfg.pipeline_depth, 1);
+  EXPECT_EQ(cfg.coalesce_every, 3);
+  EXPECT_EQ(cfg.tol, 0.0);
+  EXPECT_EQ(cfg.max_supersteps, engine::Config::kUnbounded);
+}
+
+// Legacy zero-iteration contract: a cap of 0 runs no supersteps and
+// returns the seed state (wrappers clamp negatives the same way).
+TEST(EngineConfig, ZeroSuperstepCapRunsNone) {
+  const EdgeList el = gen::erdos_renyi(200, 4, 3);
+  sim::run_world(2, [&](sim::Comm& comm) {
+    const DistGraph g = build_dist_graph(comm, el, VertexDist::block(el.n, 2));
+    const PageRankResult pr = pagerank(comm, g, 0);
+    EXPECT_EQ(pr.info.supersteps, 0);
+    EXPECT_NEAR(pr.sum, 1.0, 1e-12);  // uniform seed ranks, mass intact
+    const KCoreResult kc = kcore_approx(comm, g, -1);
+    EXPECT_EQ(kc.info.supersteps, 0);
+    for (lid_t v = 0; v < g.n_local(); ++v)
+      EXPECT_EQ(kc.core[v], g.degree(v));  // degree upper bound untouched
+  });
+}
+
+// The engine's pipeline ledger lights up when a dense program runs at
+// depth 1 (the WCC/commLP pipeline support the engine added).
+TEST(EngineStats, PipelineCarryRecordedAtDepth1) {
+  const EdgeList el = gen::erdos_renyi(800, 8, 5);
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+    WccProgram p;
+    engine::Config cfg;
+    cfg.pipeline_depth = 1;
+    const engine::Stats st = engine::run(comm, g, p, cfg);
+    if (comm.size() > 1) {
+      EXPECT_GT(st.exchange.pipeline_carried, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace xtra::analytics
