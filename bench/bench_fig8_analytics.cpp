@@ -13,9 +13,10 @@
 // All eight workloads (the paper's six plus the engine-native SSSP
 // and triangle count) run through the unified vertex-program engine:
 // one engine::Config built from core::Params carries every transport
-// knob (shard policy, chunk size, pipeline depth, coalescing cadence)
-// into every kernel — XTRA_PIPELINE_DEPTH / XTRA_SHARD_HIER /
-// XTRA_COALESCE_EVERY select them without recompiling.
+// knob (shard policy, chunk size, pipeline depth, coalescing cadence,
+// intra-rank threads) into every kernel — XTRA_PIPELINE_DEPTH /
+// XTRA_SHARD_HIER / XTRA_COALESCE_EVERY / XTRA_THREADS select them
+// without recompiling.
 #include <cstdlib>
 #include <memory>
 
@@ -61,6 +62,10 @@ int main() {
       apar.shard_policy = comm::ShardPolicy::kHierarchical;
   if (const char* ce = std::getenv("XTRA_COALESCE_EVERY"))
     apar.coalesce_every = std::atoi(ce);
+  // The "+X" of MPI+X: intra-rank worker threads. Results and wire
+  // traffic are thread-count-invariant by contract (DESIGN.md §6).
+  if (const char* t = std::getenv("XTRA_THREADS"))
+    apar.num_threads = std::atoi(t);
   const engine::Config cfg = engine::Config::from_params(apar);
   const graph::EdgeList directed = gen::webcrawl(n, 20, 7);
   const graph::EdgeList el = graph::symmetrized(directed);

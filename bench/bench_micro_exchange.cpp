@@ -21,6 +21,7 @@
 #include "analytics/programs.hpp"
 #include "comm/coalescing.hpp"
 #include "core/exchange.hpp"
+#include "core/xtrapulp.hpp"
 #include "engine/engine.hpp"
 #include "gen/generators.hpp"
 #include "graph/dist_graph.hpp"
@@ -631,6 +632,83 @@ void BM_TriangleQuery(benchmark::State& state) {
   record_row(row);
 }
 BENCHMARK(BM_TriangleQuery)->Args({8, 0})->Args({8, 1 << 16});
+
+/// MPI+X rows: the engine workloads and the full partitioner at
+/// 4 ranks x {1, 4, 8} intra-rank threads. The thread width is a pure
+/// throughput knob — the check script requires every _tN row's wire
+/// metrics (bytes, collectives, topology split) to match its _t1 twin
+/// exactly; any drift means a thread raced the wire accounting.
+void BM_ThreadedEngine(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const int workload = static_cast<int>(state.range(2));
+  constexpr const char* kNames[] = {"pagerank_threads", "commlp_threads",
+                                    "sssp_threads", "partition_threads"};
+  const graph::EdgeList el = gen::erdos_renyi(8'000, 12, 5);
+  CommRow row{std::string(kNames[workload]) + "_t" + std::to_string(threads),
+              nranks, 0};
+  for (auto _ : state) {
+    sim::run_world(
+        nranks,
+        [&](sim::Comm& comm) {
+          const auto g = graph::build_dist_graph(
+              comm, el, graph::VertexDist::random(el.n, nranks, 3));
+          comm.barrier();
+          comm.reset_stats();
+          double iters = 1.0;
+          if (workload == 3) {
+            core::Params params;
+            params.nparts = nranks;
+            params.num_threads = threads;
+            const core::PartitionResult r = core::partition(comm, g, params);
+            benchmark::DoNotOptimize(r.parts.data());
+          } else {
+            engine::Config cfg;
+            cfg.num_threads = threads;
+            engine::Stats st;
+            if (workload == 0) {
+              analytics::PageRankProgram p;
+              cfg.max_supersteps = 10;
+              st = engine::run(comm, g, p, cfg);
+            } else if (workload == 1) {
+              analytics::CommLpProgram p;
+              cfg.max_supersteps = 10;
+              st = engine::run(comm, g, p, cfg);
+            } else {
+              analytics::DeltaSsspProgram p;
+              p.root = 0;
+              p.delta = 8;
+              st = engine::run(comm, g, p, cfg);
+            }
+            iters = static_cast<double>(st.supersteps);
+          }
+          const sim::CommStats world = comm.world_stats();
+          if (comm.rank() == 0) {
+            row.bytes_per_iter =
+                static_cast<double>(world.bytes_sent) / iters;
+            row.collectives_per_iter =
+                static_cast<double>(world.collectives) / iters;
+          }
+        },
+        /*ranks_per_node=*/2);
+  }
+  state.counters["bytes/iter"] = row.bytes_per_iter;
+  state.counters["colls/iter"] = row.collectives_per_iter;
+  record_row(row);
+}
+BENCHMARK(BM_ThreadedEngine)
+    ->Args({4, 1, 0})
+    ->Args({4, 4, 0})
+    ->Args({4, 8, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 4, 1})
+    ->Args({4, 8, 1})
+    ->Args({4, 1, 2})
+    ->Args({4, 4, 2})
+    ->Args({4, 8, 2})
+    ->Args({4, 1, 3})
+    ->Args({4, 4, 3})
+    ->Args({4, 8, 3});
 
 }  // namespace
 

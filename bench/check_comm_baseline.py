@@ -41,6 +41,13 @@ regressing relative to the pre-engine hand-rolled kernels is the
 frozen baseline numbers, which were recorded from those kernels and
 verified drift-free at the migration.
 
+The MPI+X rows carry a fourth absolute contract: every *_tN row
+(N > 1 intra-rank threads) must match its *_t1 twin EXACTLY on every
+wire metric — bytes, collectives, and the topology split. The thread
+width is a pure throughput knob by design (DESIGN.md §6); any drift
+means a worker thread raced the wire accounting, and no baseline
+tolerance excuses it.
+
 Usage:
   python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
   python3 bench/check_comm_baseline.py --bench ... --update   # refresh
@@ -48,6 +55,7 @@ Usage:
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -64,6 +72,13 @@ COALESCE_PAIRS = ("commlp_coalesced", "commlp_uncoalesced")
 ENGINE_TWINS = {"pagerank_engine": "pagerank_blocking",
                 "commlp_engine": "commlp_uncoalesced"}
 ENGINE_SLACK = 1.001  # strict equality modulo float formatting
+# MPI+X rows: "<workload>_threads_tN". N > 1 rows must equal the _t1
+# twin exactly on every wire metric (threads change timing only).
+THREAD_ROW = re.compile(r"^(.+_threads)_t(\d+)$")
+THREAD_METRICS = ("bytes_per_iter", "collectives_per_iter",
+                  "inter_node_bytes_per_iter",
+                  "intra_node_bytes_per_iter",
+                  "inter_node_msgs_per_iter")
 
 
 def run_bench(bench, min_time):
@@ -180,6 +195,33 @@ def check_engine_contract(current):
     return failures
 
 
+def check_thread_contract(current):
+    """*_tN rows (N > 1) must match their *_t1 twin exactly on every
+    wire metric: intra-rank threads may change timing, nothing else."""
+    failures = []
+    pairs = 0
+    for key, row in current.items():
+        m = THREAD_ROW.match(key[0])
+        if m is None or m.group(2) == "1":
+            continue
+        twin = current.get((m.group(1) + "_t1", key[1], key[2]))
+        if twin is None:
+            failures.append(f"{key}: no _t1 twin row to compare against")
+            continue
+        pairs += 1
+        for metric in THREAD_METRICS:
+            a = row.get(metric, 0.0)
+            b = twin.get(metric, 0.0)
+            # Exact modulo the %.1f/%.2f formatting of the JSON block.
+            if abs(a - b) > 1e-6 * max(1.0, abs(b)):
+                failures.append(
+                    f"{key}: {metric} {a} drifted from _t1 twin's {b} "
+                    f"(thread count must not touch the wire)")
+    if pairs == 0:
+        failures.append("no *_tN thread-twin pairs in the current run")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
@@ -225,6 +267,7 @@ def main():
     failures += check_hier_contract(current)
     failures += check_coalesce_contract(current)
     failures += check_engine_contract(current)
+    failures += check_thread_contract(current)
 
     if failures:
         print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
@@ -233,7 +276,7 @@ def main():
         sys.exit(1)
     print(f"comm baseline check passed: {len(baseline)} rows within "
           f"{args.tolerance:.0%}; hierarchical inter-node, coalesced "
-          f"commLP, and engine-twin contracts held")
+          f"commLP, engine-twin, and thread-twin contracts held")
 
 
 if __name__ == "__main__":

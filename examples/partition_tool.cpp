@@ -10,9 +10,13 @@
 //   --single-obj     disable the edge balancing stage
 //   --seed N
 //
+// XTRA_THREADS=N runs N intra-rank worker threads (MPI+X); the labels
+// produced are identical at any thread count (DESIGN.md §6).
+//
 // Output: one part id per line, in vertex-id order (omit out.parts to
 // print quality metrics only).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -42,6 +46,8 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   core::Params params;
   params.nparts = static_cast<part_t>(std::atoi(argv[2]));
+  if (const char* t = std::getenv("XTRA_THREADS"))
+    params.num_threads = std::atoi(t);
   int nranks = 4;
   std::string out_path;
   for (int i = 3; i < argc; ++i) {

@@ -9,6 +9,7 @@
 // communication-volume and time savings. The per-kernel engine::Stats
 // ledger (JSON-exportable) shows where the bytes went.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "analytics/programs.hpp"
@@ -28,6 +29,10 @@ int main() {
   // analytics and partitioning are driven from the same struct.
   core::Params params;
   params.nparts = kRanks;
+  // XTRA_THREADS=N adds intra-rank worker threads (MPI+X); results
+  // and comm volume are identical at any width (DESIGN.md §6).
+  if (const char* t = std::getenv("XTRA_THREADS"))
+    params.num_threads = std::atoi(t);
   const engine::Config cfg = engine::Config::from_params(params);
 
   struct Totals {

@@ -19,8 +19,10 @@
 
 #include "comm/dest_buckets.hpp"
 #include "comm/query_reply.hpp"
+#include "comm/sharded_buckets.hpp"
 #include "engine/engine.hpp"
 #include "graph/dist_graph.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace xtra::analytics {
@@ -48,6 +50,10 @@ inline count_t edge_weight(gid_t a, gid_t b, std::uint64_t seed,
 struct PageRankProgram {
   using Value = double;
   static constexpr bool kConvergeOnChange = false;
+  // update(v) reads rank[v] (written only in apply) and writes
+  // values[v]; apply writes rank[v] and the per-vertex residual
+  // scratch — all per-vertex slots, safe for concurrent distinct v.
+  static constexpr bool kParallelUpdate = true;
   using Ctx = engine::DenseContext<PageRankProgram>;
 
   double damping = 0.85;
@@ -56,11 +62,13 @@ struct PageRankProgram {
   double sum = 0.0;          ///< global rank mass (~1.0)
   double inv_n = 0.0;
   double dangling = 0.0;
+  std::vector<double> resid;  ///< per-vertex |delta| scratch (apply)
 
   void init(Ctx& ctx) {
     inv_n = 1.0 / static_cast<double>(ctx.g.n_global());
     ctx.values.assign(ctx.g.n_total(), 0.0);
     rank.assign(ctx.g.n_total(), inv_n);
+    resid.assign(ctx.g.n_local(), 0.0);
   }
   void pre_superstep(Ctx& ctx) {
     // Dangling mass in fixed lid order, so the sum is bit-identical no
@@ -76,14 +84,23 @@ struct PageRankProgram {
   void mid(Ctx& ctx) { dangling = ctx.comm.allreduce_sum(dangling); }
   void apply(Ctx& ctx) {
     const double n = static_cast<double>(ctx.g.n_global());
-    for (lid_t v = 0; v < ctx.g.n_local(); ++v) {
-      double s = 0.0;
-      for (const lid_t u : ctx.g.neighbors(v)) s += ctx.values[u];
-      const double next =
-          (1.0 - damping) / n + damping * (s + dangling / n);
-      ctx.residual += std::abs(next - rank[v]);
-      rank[v] = next;
-    }
+    // Parallel gather into per-vertex slots; the residual folds
+    // serially in lid order afterwards, so the sum's association — and
+    // hence the tol stop — is identical at every thread count.
+    par::for_chunks(static_cast<count_t>(ctx.g.n_local()),
+                    [&](count_t, count_t lo, count_t hi) {
+                      for (count_t i = lo; i < hi; ++i) {
+                        const lid_t v = static_cast<lid_t>(i);
+                        double s = 0.0;
+                        for (const lid_t u : ctx.g.neighbors(v))
+                          s += ctx.values[u];
+                        const double next =
+                            (1.0 - damping) / n + damping * (s + dangling / n);
+                        resid[v] = std::abs(next - rank[v]);
+                        rank[v] = next;
+                      }
+                    });
+    for (lid_t v = 0; v < ctx.g.n_local(); ++v) ctx.residual += resid[v];
   }
   void finish(Ctx& ctx) {
     // Epilogue: refresh the ghost ranks while the mass check reduces —
@@ -191,13 +208,17 @@ struct WccProgram {
 struct CommLpProgram {
   using Value = gid_t;
   static constexpr bool kUsesPrev = true;
+  // Synchronous vote: update reads only ctx.prev (frozen during the
+  // sweep) and writes values[v]; the sort scratch is per pool slot.
+  static constexpr bool kParallelUpdate = true;
   using Ctx = engine::DenseContext<CommLpProgram>;
 
   std::vector<gid_t> label;  ///< size n_total (moved from ctx.values)
   count_t num_communities = 0;
-  std::vector<gid_t> nbr_labels;  ///< majority-count scratch
+  std::vector<std::vector<gid_t>> nbr_labels;  ///< per-slot vote scratch
 
   void init(Ctx& ctx) {
+    nbr_labels.assign(static_cast<std::size_t>(par::num_threads()), {});
     ctx.values.resize(ctx.g.n_total());
     for (lid_t v = 0; v < ctx.g.n_total(); ++v)
       ctx.values[v] = ctx.g.gid_of(v);
@@ -205,6 +226,8 @@ struct CommLpProgram {
   void update(Ctx& ctx, lid_t v) {
     const auto nbrs = ctx.g.neighbors(v);
     if (nbrs.empty()) return;
+    auto& nbr_labels =
+        this->nbr_labels[static_cast<std::size_t>(par::current_slot())];
     nbr_labels.clear();
     for (const lid_t u : nbrs) nbr_labels.push_back(ctx.prev[u]);
     std::sort(nbr_labels.begin(), nbr_labels.end());
@@ -219,7 +242,7 @@ struct CommLpProgram {
       }
       i = j;
     }
-    if (best != ctx.values[v]) ctx.changed = true;
+    if (best != ctx.values[v]) ctx.note_changed();
     ctx.values[v] = best;
   }
   void finish(Ctx& ctx) {
@@ -275,25 +298,31 @@ inline count_t h_index(std::vector<count_t>& values) {
 struct KCoreProgram {
   using Value = count_t;
   static constexpr bool kUsesPrev = true;
+  // Synchronous h-index: update reads only ctx.prev and writes
+  // values[v]; the sort scratch is per pool slot.
+  static constexpr bool kParallelUpdate = true;
   using Ctx = engine::DenseContext<KCoreProgram>;
 
   std::vector<count_t> core;  ///< size n_total (moved from ctx.values)
   count_t max_core = 0;
-  std::vector<count_t> nbr_core;  ///< h-index scratch
+  std::vector<std::vector<count_t>> nbr_core;  ///< per-slot h-index scratch
 
   void init(Ctx& ctx) {
+    nbr_core.assign(static_cast<std::size_t>(par::num_threads()), {});
     ctx.values.resize(ctx.g.n_total());
     for (lid_t v = 0; v < ctx.g.n_total(); ++v)
       ctx.values[v] = ctx.g.degree(v);
   }
   void update(Ctx& ctx, lid_t v) {
+    auto& nbr_core =
+        this->nbr_core[static_cast<std::size_t>(par::current_slot())];
     nbr_core.clear();
     for (const lid_t u : ctx.g.neighbors(v)) nbr_core.push_back(ctx.prev[u]);
     const count_t h =
         std::min<count_t>(detail::h_index(nbr_core), ctx.g.degree(v));
     if (h < ctx.values[v]) {
       ctx.values[v] = h;
-      ctx.changed = true;
+      ctx.note_changed();
     }
   }
   void finish(Ctx& ctx) {
@@ -525,22 +554,36 @@ struct TriangleCountProgram {
     gid_t b;
   };
 
+  /// A staged closure query before slot assignment: the wire record
+  /// plus its slot-aligned side data (sharded emission, see finish()).
+  struct Staged {
+    Query q;
+    double s;      ///< unbiased sample scale
+    lid_t center;  ///< wedge center the reply credits
+  };
+
   std::vector<std::vector<gid_t>> adj;  ///< owned sorted unique nbr gids
   comm::DestBuckets<Query> buckets;
+  comm::ShardedBuckets<Staged> staged;
   std::vector<double> scale;    ///< per staged query slot
   std::vector<lid_t> center;    ///< per staged query slot
 
   void init(Ctx& ctx) {
     ctx.values.assign(ctx.g.n_total(), 0.0);
     adj.resize(ctx.g.n_local());
-    for (lid_t v = 0; v < ctx.g.n_local(); ++v) {
-      auto& a = adj[v];
-      a.clear();
-      for (const lid_t u : ctx.g.neighbors(v))
-        a.push_back(ctx.g.gid_of(u));
-      std::sort(a.begin(), a.end());
-      a.erase(std::unique(a.begin(), a.end()), a.end());
-    }
+    // Each vertex writes only its own adjacency row: chunk-safe.
+    par::for_chunks(static_cast<count_t>(ctx.g.n_local()),
+                    [&](count_t, count_t lo, count_t hi) {
+                      for (count_t i = lo; i < hi; ++i) {
+                        const lid_t v = static_cast<lid_t>(i);
+                        auto& a = adj[v];
+                        a.clear();
+                        for (const lid_t u : ctx.g.neighbors(v))
+                          a.push_back(ctx.g.gid_of(u));
+                        std::sort(a.begin(), a.end());
+                        a.erase(std::unique(a.begin(), a.end()), a.end());
+                      }
+                    });
     buckets.begin(ctx.comm.size());
     scale.clear();
     center.clear();
@@ -580,14 +623,31 @@ struct TriangleCountProgram {
   }
   void finish(Ctx& ctx) {
     const graph::DistGraph& g = ctx.g;
-    // Two-pass staging over the same deterministic wedge stream.
-    for (lid_t v = 0; v < g.n_local(); ++v)
-      for_each_wedge(ctx, v, [&](gid_t ga, gid_t gb, double) {
-        buckets.count(g.owner_of_gid(std::min(ga, gb)));
-      });
-    buckets.commit();
-    scale.resize(static_cast<std::size_t>(buckets.total()));
-    center.resize(static_cast<std::size_t>(buckets.total()));
+    // Wedge generation is the O(n * cap) bulk of the run, and each
+    // center's stream reads only its own (immutable) adjacency row, so
+    // it shards: chunks emit concurrently, then the chunk-order replay
+    // assigns every query the slot the historical serial two-pass
+    // staging gave it (see comm/sharded_buckets.hpp).
+    staged.emit(static_cast<count_t>(g.n_local()),
+                [&](count_t, count_t lo, count_t hi, auto&& put) {
+                  for (count_t i = lo; i < hi; ++i) {
+                    const lid_t v = static_cast<lid_t>(i);
+                    for_each_wedge(ctx, v, [&](gid_t ga, gid_t gb, double s) {
+                      const gid_t qlo = std::min(ga, gb);
+                      const gid_t qhi = std::max(ga, gb);
+                      put(g.owner_of_gid(qlo), Staged{{qlo, qhi}, s, v});
+                    });
+                  }
+                });
+    scale.resize(static_cast<std::size_t>(staged.total()));
+    center.resize(static_cast<std::size_t>(staged.total()));
+    staged.place(
+        buckets, ctx.comm.size(),
+        [](const Staged& st) { return st.q; },
+        [&](count_t slot, const Staged& st) {
+          scale[static_cast<std::size_t>(slot)] = st.s;
+          center[static_cast<std::size_t>(slot)] = st.center;
+        });
     for (lid_t v = 0; v < g.n_local(); ++v) {
       const auto& a = adj[v];
       if (static_cast<count_t>(a.size()) >= 2 &&
@@ -595,13 +655,6 @@ struct TriangleCountProgram {
                   (static_cast<count_t>(a.size()) - 1) / 2 >
               sample_cap)
         ++sampled_centers;
-      for_each_wedge(ctx, v, [&](gid_t ga, gid_t gb, double s) {
-        const gid_t lo = std::min(ga, gb), hi = std::max(ga, gb);
-        const count_t slot =
-            buckets.push(g.owner_of_gid(lo), Query{lo, hi});
-        scale[static_cast<std::size_t>(slot)] = s;
-        center[static_cast<std::size_t>(slot)] = v;
-      });
     }
     const std::span<const std::uint8_t> replies = comm::query_reply(
         ctx.comm, ctx.aux(), buckets.records(), buckets.counts(),

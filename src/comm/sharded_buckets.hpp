@@ -1,0 +1,86 @@
+// ShardedBuckets — chunk-sharded parallel emission in front of
+// DestBuckets' serial two-pass protocol.
+//
+// DestBuckets assigns slots by traversal order, so the emission loop is
+// order-sensitive and cannot be threaded directly. The shard layer
+// splits it: emit() runs the (expensive) record production chunked on
+// the ambient thread pool (util/parallel.hpp), each chunk appending to
+// its own shard in emission order; place() then replays the shards in
+// chunk-index order through count/commit/push on the rank thread.
+// Because the chunks partition the index range in order, the replayed
+// traversal IS the serial traversal — every record lands in the slot a
+// serial emission would have given it, at any thread count.
+//
+// place() never touches the wire itself; hand the filled DestBuckets to
+// an Exchanger/query_reply on the rank thread as usual.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "comm/dest_buckets.hpp"
+#include "util/parallel.hpp"
+#include "util/types.hpp"
+
+namespace xtra::comm {
+
+template <typename Item>
+class ShardedBuckets {
+ public:
+  /// Parallel emission over [0, total): body(c, lo, hi, put) produces
+  /// chunk c's records via put(dest, item), in the order the serial
+  /// loop over [lo, hi) would have produced them.
+  template <typename Body>
+  void emit(count_t total, Body&& body) {
+    const count_t nchunks = par::chunk_count(total);
+    if (static_cast<count_t>(shards_.size()) < nchunks)
+      shards_.resize(static_cast<std::size_t>(nchunks));
+    n_shards_ = nchunks;
+    par::for_chunks(total, [&](count_t c, count_t lo, count_t hi) {
+      auto& shard = shards_[static_cast<std::size_t>(c)];
+      shard.clear();
+      body(c, lo, hi, [&shard](int dest, const Item& item) {
+        shard.push_back({dest, item});
+      });
+    });
+  }
+
+  /// Records emitted by the last emit() (== the slot count place()
+  /// will fill); callers size slot-aligned side arrays from this.
+  count_t total() const {
+    count_t n = 0;
+    for (count_t c = 0; c < n_shards_; ++c)
+      n += static_cast<count_t>(shards_[static_cast<std::size_t>(c)].size());
+    return n;
+  }
+
+  /// Serial chunk-order merge into `out`: the full begin/count/commit/
+  /// push protocol with make(item) -> wire record, calling
+  /// on_place(slot, item) per record for slot-aligned side arrays.
+  template <typename T, typename MakeFn, typename OnPlace>
+  void place(DestBuckets<T>& out, int nranks, MakeFn&& make,
+             OnPlace&& on_place) {
+    out.begin(nranks);
+    for (count_t c = 0; c < n_shards_; ++c)
+      for (const Tagged& t : shards_[static_cast<std::size_t>(c)])
+        out.count(t.dest);
+    out.commit();
+    for (count_t c = 0; c < n_shards_; ++c)
+      for (const Tagged& t : shards_[static_cast<std::size_t>(c)]) {
+        const count_t slot = out.push(t.dest, make(t.item));
+        on_place(slot, t.item);
+      }
+  }
+
+ private:
+  struct Tagged {
+    int dest;
+    Item item;
+  };
+
+  std::vector<std::vector<Tagged>> shards_;  ///< per emission chunk
+  count_t n_shards_ = 0;
+};
+
+}  // namespace xtra::comm

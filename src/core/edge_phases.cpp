@@ -2,6 +2,7 @@
 
 #include "core/exchange.hpp"
 #include "core/phases.hpp"
+#include "core/sweep.hpp"
 #include "util/assert.hpp"
 
 namespace xtra::core {
@@ -42,6 +43,7 @@ void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
   std::vector<double> weight_e(static_cast<std::size_t>(p), 0.0);
   std::vector<double> weight_c(static_cast<std::size_t>(p), 0.0);
   NeighborCounts counts(p);
+  PhaseScan scan;
   std::vector<lid_t> queue;
 
   // R_e/R_c schedule (§III-E): while the edge-balance constraint is
@@ -76,15 +78,14 @@ void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
           ratio_weight(static_cast<double>(max_c), st.est_c(i));
     }
 
+    scan.scan(g, parts, p, PhaseScan::Weight::kDegree);
     queue.clear();
     for (lid_t v = 0; v < g.n_local(); ++v) {
       const part_t x = parts[v];
       if (!st.can_leave(x))
         continue;  // never empty a part (see vert_phases.cpp)
       const count_t dv = g.degree(v);
-      counts.reset();
-      for (const lid_t u : g.neighbors(v))
-        counts.add(parts[u], static_cast<double>(g.degree(u)));
+      scan.load(g, parts, v, counts);
 
       part_t best = x;
       double best_score = 0.0;
@@ -116,6 +117,7 @@ void edge_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
         apply_cut_deltas(g, parts, v, x, best, st.change_c);
         parts[v] = best;
         queue.push_back(v);
+        scan.mark_moved(g, v);
         weight_e[static_cast<std::size_t>(x)] =
             ratio_weight(static_cast<double>(st.imb_e), st.est_e(x));
         weight_e[static_cast<std::size_t>(best)] =
@@ -141,6 +143,7 @@ void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
                        const Params& params) {
   const part_t p = st.nparts;
   NeighborCounts counts(p);
+  PhaseScan scan;
   std::vector<lid_t> queue;
 
   for (int iter = 0; iter < params.ref_iters; ++iter) {
@@ -153,14 +156,14 @@ void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
     const count_t max_c =
         *std::max_element(st.size_c.begin(), st.size_c.end());
 
+    scan.scan(g, parts, p, PhaseScan::Weight::kUnit);
     queue.clear();
     for (lid_t v = 0; v < g.n_local(); ++v) {
       const part_t x = parts[v];
       if (!st.can_leave(x))
         continue;  // never empty a part (see vert_phases.cpp)
       const count_t dv = g.degree(v);
-      counts.reset();
-      for (const lid_t u : g.neighbors(v)) counts.add(parts[u], 1.0);
+      scan.load(g, parts, v, counts);
 
       part_t best = x;
       double best_score = counts.get(x);
@@ -191,6 +194,7 @@ void edge_refine_phase(sim::Comm& comm, const graph::DistGraph& g,
         apply_cut_deltas(g, parts, v, x, best, st.change_c);
         parts[v] = best;
         queue.push_back(v);
+        scan.mark_moved(g, v);
       }
     }
     st.exchanger.start(comm, g, parts, queue);

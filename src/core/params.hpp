@@ -76,6 +76,14 @@ struct Params {
   /// (bit-identical to 0).
   int coalesce_every = 0;
 
+  /// Intra-rank worker threads (the "+X" of MPI+X) for the chunked
+  /// deterministic sweeps: the partitioner's vert/edge phases and the
+  /// engine-run analytics. Results are byte-identical for any value
+  /// (see util/parallel.hpp for the determinism contract); clamped to
+  /// [1, par::kMaxThreads]. Same value required on every rank only for
+  /// like-for-like timing — correctness never depends on it.
+  int num_threads = 1;
+
   std::uint64_t seed = 1;
 };
 

@@ -13,6 +13,7 @@
 #include "core/state.hpp"
 #include "graph/halo.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::core {
@@ -39,6 +40,9 @@ PartitionResult partition(sim::Comm& comm, const graph::DistGraph& g,
   validate(g, params);
   PartitionResult result;
   result.nparts = params.nparts;
+  // Ambient thread width for the phases' parallel scan passes
+  // (core/sweep.hpp). Results are byte-identical at any width.
+  par::ThreadScope threads(params.num_threads);
   const count_t bytes_before = comm.stats().bytes_sent;
   Timer total;
 

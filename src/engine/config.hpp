@@ -53,6 +53,13 @@ struct Config {
   /// fixed-iteration contract (and its collective count).
   double tol = 0.0;
 
+  /// Intra-rank worker threads for the engine's chunked sweeps
+  /// (boundary/interior update sweeps, the frontier expansion scan).
+  /// Deterministic: {1, T} threads produce byte-identical results and
+  /// identical ExchangeStats wire accounting for every T — threading
+  /// never changes what goes on the wire, only who computes it.
+  int num_threads = 1;
+
   /// Superstep cap. kUnbounded (the default) runs change-converging
   /// programs to convergence; fixed-iteration programs must set a
   /// non-negative cap (0 runs no supersteps at all — init and finish
@@ -68,6 +75,7 @@ struct Config {
     cfg.max_exchange_bytes = p.max_exchange_bytes;
     cfg.pipeline_depth = p.pipeline_depth;
     cfg.coalesce_every = p.coalesce_every;
+    cfg.num_threads = p.num_threads;
     return cfg;
   }
 };

@@ -54,6 +54,7 @@
 // any Value.
 #pragma once
 
+#include <array>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -68,6 +69,7 @@
 #include "graph/halo.hpp"
 #include "mpisim/comm.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::engine {
@@ -96,6 +98,22 @@ constexpr bool exchanges_values() {
     return P::kExchangesValues;
   else
     return true;
+}
+
+/// Programs whose update(ctx, v) is safe to run concurrently for
+/// distinct v under cfg.num_threads > 1: update writes only v's own
+/// slots (values[v], per-slot scratch via par::current_slot(),
+/// ctx.note_changed()) and reads state no concurrent update writes
+/// (ctx.prev, program-private snapshots, graph topology). Programs
+/// with live cross-vertex reads (WCC's min-hook, SCC trim) must leave
+/// this false — the engine then keeps their sweeps serial regardless
+/// of cfg.num_threads.
+template <typename P>
+constexpr bool parallel_update() {
+  if constexpr (requires { P::kParallelUpdate; })
+    return P::kParallelUpdate;
+  else
+    return false;
 }
 
 }  // namespace detail
@@ -133,6 +151,23 @@ struct DenseContext {
   bool changed = false;
   double residual = 0.0;
 
+  /// Race-free "something changed" signal for parallel update sweeps:
+  /// each pool slot owns a padded flag; the engine folds them into
+  /// `changed` after the sweep, in slot order. Serial hooks may keep
+  /// setting ctx.changed directly — both routes feed the same
+  /// convergence collective.
+  void note_changed() {
+    changed_slots_[static_cast<std::size_t>(par::current_slot())].flag = 1;
+  }
+  void reset_changed() {
+    changed = false;
+    for (auto& s : changed_slots_) s.flag = 0;
+  }
+  void collect_changed() {
+    for (const auto& s : changed_slots_)
+      if (s.flag != 0) changed = true;
+  }
+
   /// The run's halo plan (kExchangesValues programs only) — epilogue
   /// hooks may prefetch program-private vectors through it.
   graph::HaloPlan& halo() {
@@ -155,9 +190,33 @@ struct DenseContext {
 
   graph::HaloPlan* halo_ = nullptr;
   std::unique_ptr<comm::Exchanger> aux_;
+
+  struct alignas(64) ChangedFlag {
+    unsigned char flag = 0;
+  };
+  std::array<ChangedFlag, par::kMaxThreads> changed_slots_{};
 };
 
 namespace detail {
+
+/// One full owned-vertex update sweep for the drivers without a halo
+/// overlap structure (coalesced, local): chunked on the rank's pool
+/// when the program declares kParallelUpdate, the plain lid loop
+/// otherwise. Both orders are equivalent for parallel-safe programs
+/// (per-vertex writes only), and at num_threads == 1 the chunked path
+/// visits vertices in exactly the serial order.
+template <typename P>
+void update_sweep(const graph::DistGraph& g, P& p, DenseContext<P>& ctx) {
+  if constexpr (parallel_update<P>()) {
+    par::for_chunks(static_cast<count_t>(g.n_local()),
+                    [&](count_t, count_t lo, count_t hi) {
+                      for (count_t i = lo; i < hi; ++i)
+                        p.update(ctx, static_cast<lid_t>(i));
+                    });
+  } else {
+    for (lid_t v = 0; v < g.n_local(); ++v) p.update(ctx, v);
+  }
+}
 
 /// Full-refresh superstep loop (the SuperstepPipeline path).
 template <typename P>
@@ -187,14 +246,16 @@ void run_dense_pipelined(sim::Comm& comm, const graph::DistGraph& g, P& p,
   const count_t limit = superstep_limit(cfg);
   for (count_t s = 0; s < limit; ++s) {
     if constexpr (requires { p.pre_superstep(ctx); }) p.pre_superstep(ctx);
-    ctx.changed = false;
+    ctx.reset_changed();
     ctx.residual = 0.0;
     pipe.superstep(
         comm, ctx.values, [&](lid_t v) { p.update(ctx, v); },
         [&] {
           if constexpr (requires { p.mid(ctx); }) p.mid(ctx);
-        });
+        },
+        parallel_update<P>());
     if constexpr (requires { p.apply(ctx); }) p.apply(ctx);
+    ctx.collect_changed();
     ++ctx.superstep;
 
     if constexpr (converge_on_change<P>()) {
@@ -273,10 +334,11 @@ void run_dense_coalesced(sim::Comm& comm, const graph::DistGraph& g, P& p,
   const count_t limit = superstep_limit(cfg);
   for (count_t s = 0; s < limit; ++s) {
     if constexpr (requires { p.pre_superstep(ctx); }) p.pre_superstep(ctx);
-    ctx.changed = false;
+    ctx.reset_changed();
     ctx.residual = 0.0;
-    for (lid_t v = 0; v < g.n_local(); ++v) p.update(ctx, v);
+    update_sweep(g, p, ctx);
     if constexpr (requires { p.apply(ctx); }) p.apply(ctx);
+    ctx.collect_changed();
     // Stage one record per (destination, vertex) slot whose value
     // moved since it was last shipped.
     buckets.begin(comm.size());
@@ -326,10 +388,11 @@ void run_dense_local(sim::Comm& comm, const graph::DistGraph& g, P& p,
   const count_t limit = superstep_limit(cfg);
   for (count_t s = 0; s < limit; ++s) {
     if constexpr (requires { p.pre_superstep(ctx); }) p.pre_superstep(ctx);
-    ctx.changed = false;
+    ctx.reset_changed();
     ctx.residual = 0.0;
-    for (lid_t v = 0; v < g.n_local(); ++v) p.update(ctx, v);
+    update_sweep(g, p, ctx);
     if constexpr (requires { p.apply(ctx); }) p.apply(ctx);
+    ctx.collect_changed();
     ++ctx.superstep;
     if constexpr (converge_on_change<P>()) {
       if (!comm.allreduce_or(ctx.changed)) break;
@@ -350,6 +413,10 @@ template <typename P>
 Stats run_dense(sim::Comm& comm, const graph::DistGraph& g, P& p,
                 const Config& cfg) {
   Stats stats;
+  // Ambient thread width for every chunked sweep the run issues
+  // (engine sweeps, program hooks via par::for_chunks/ordered_sum).
+  par::ThreadScope threads(cfg.num_threads);
+  stats.num_threads = par::num_threads();
   const count_t start_bytes = comm.stats().bytes_sent;
   Timer timer;
 

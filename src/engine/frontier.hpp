@@ -42,6 +42,7 @@
 #include "graph/dist_graph.hpp"
 #include "graph/frontier.hpp"
 #include "mpisim/comm.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::engine {
@@ -73,6 +74,9 @@ template <typename P>
 Stats run_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
                    const Config& cfg) {
   Stats stats;
+  // Ambient thread width for the stepper's parallel expansion scan.
+  par::ThreadScope threads(cfg.num_threads);
+  stats.num_threads = par::num_threads();
   const count_t start_bytes = comm.stats().bytes_sent;
   Timer timer;
 

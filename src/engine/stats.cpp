@@ -31,6 +31,7 @@ std::string Stats::to_json() const {
   std::snprintf(
       buf, sizeof(buf),
       "{\"seconds\": %.6f, \"comm_bytes\": %lld, \"supersteps\": %lld, "
+      "\"num_threads\": %d, "
       "\"exchanges\": %lld, \"phases\": %lld, \"records_sent\": %lld, "
       "\"bytes_sent\": %lld, \"inter_node_bytes\": %lld, "
       "\"intra_node_bytes\": %lld, \"inter_node_msgs\": %lld, "
@@ -38,7 +39,7 @@ std::string Stats::to_json() const {
       "\"max_inflight_bytes\": %lld, \"drained_incrementally\": %lld, "
       "\"pipeline_carried\": %lld, \"max_pipeline_depth\": %lld}",
       seconds, static_cast<long long>(comm_bytes),
-      static_cast<long long>(supersteps),
+      static_cast<long long>(supersteps), num_threads,
       static_cast<long long>(exchange.exchanges),
       static_cast<long long>(exchange.phases),
       static_cast<long long>(exchange.records_sent),

@@ -17,6 +17,7 @@ struct Stats {
   double seconds = 0.0;    ///< wall time inside engine::run on this rank
   count_t comm_bytes = 0;  ///< wire bytes this rank sent during the run
   count_t supersteps = 0;  ///< supersteps (dense) or levels (frontier)
+  int num_threads = 1;     ///< intra-rank threads the run was configured with
 
   /// Aggregated wire ledger across every exchanger the run owned.
   comm::ExchangeStats exchange;

@@ -1,0 +1,46 @@
+// Chunk-seeded parallel edge generation.
+//
+// A generator that walks one RNG stream serially cannot be threaded
+// without changing the graph it produces, and seeding per *thread*
+// would make the graph depend on the pool width — the exact
+// reproducibility bug this layer exists to avoid. Instead each
+// fixed-size work chunk (util/parallel.hpp grain) derives its own
+// stream from the chunk INDEX, draws its edges independently, and the
+// per-chunk edge vectors are spliced in chunk order. The resulting
+// edge list is a pure function of (parameters, seed) at every thread
+// count, including one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace xtra::gen::detail {
+
+/// Stream for chunk `c` of a generator whose serial stream id was
+/// `stream`. Keyed by the chunk index, never by the worker thread.
+inline Rng chunk_rng(std::uint64_t seed, std::uint64_t stream, count_t c) {
+  return {seed, stream ^ splitmix64(static_cast<std::uint64_t>(c) + 1)};
+}
+
+/// Run `body(c, lo, hi, out)` over the chunks of [0, total) on the
+/// ambient thread pool, then append every chunk's edges to `el` in
+/// chunk-index order.
+template <typename Body>
+void generate_chunked(graph::EdgeList& el, count_t total, Body&& body) {
+  const count_t nchunks = par::chunk_count(total);
+  std::vector<std::vector<graph::Edge>> chunks(
+      static_cast<std::size_t>(nchunks));
+  par::for_chunks(total, [&](count_t c, count_t lo, count_t hi) {
+    auto& out = chunks[static_cast<std::size_t>(c)];
+    out.reserve(static_cast<std::size_t>(hi - lo));
+    body(c, lo, hi, out);
+  });
+  for (const auto& ch : chunks)
+    el.edges.insert(el.edges.end(), ch.begin(), ch.end());
+}
+
+}  // namespace xtra::gen::detail

@@ -1,3 +1,4 @@
+#include "gen/chunk_gen.hpp"
 #include "gen/generators.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -11,13 +12,17 @@ EdgeList erdos_renyi(gid_t n, count_t avg_degree, std::uint64_t seed) {
   el.n = n;
   el.directed = false;
   el.edges.reserve(static_cast<std::size_t>(m));
-  Rng rng(seed, 0xE12D);
-  for (count_t e = 0; e < m; ++e) {
-    const gid_t u = rng.next_below(n);
-    const gid_t v = rng.next_below(n);
-    if (u == v) continue;
-    el.edges.push_back({u, v});
-  }
+  // Chunked over the m edge draws, one stream per chunk (chunk_gen.hpp).
+  detail::generate_chunked(
+      el, m, [&](count_t c, count_t lo, count_t hi, auto& out) {
+        Rng rng = detail::chunk_rng(seed, 0xE12D, c);
+        for (count_t e = lo; e < hi; ++e) {
+          const gid_t u = rng.next_below(n);
+          const gid_t v = rng.next_below(n);
+          if (u == v) continue;
+          out.push_back({u, v});
+        }
+      });
   graph::canonicalize(el);
   return el;
 }
@@ -34,22 +39,28 @@ EdgeList rand_hd(gid_t n, count_t avg_degree, std::uint64_t seed) {
   // modulo n so the ring keeps its Θ(n/davg) diameter.
   const count_t per_vertex = std::max<count_t>(avg_degree / 2, 1);
   el.edges.reserve(static_cast<std::size_t>(n * per_vertex));
-  Rng rng(seed, 0x4A9D);
   const std::uint64_t window = 2 * static_cast<std::uint64_t>(avg_degree) - 1;
-  for (gid_t k = 0; k < n; ++k) {
-    for (count_t i = 0; i < per_vertex; ++i) {
-      // Uniform offset in [-(davg-1), davg-1] \ {0}.
-      std::int64_t off =
-          static_cast<std::int64_t>(rng.next_below(window)) -
-          (static_cast<std::int64_t>(avg_degree) - 1);
-      if (off == 0) off = 1;
-      const gid_t target =
-          static_cast<gid_t>((static_cast<std::int64_t>(k) + off +
-                              static_cast<std::int64_t>(n)) %
-                             static_cast<std::int64_t>(n));
-      el.edges.push_back({k, target});
-    }
-  }
+  // Chunked over vertices, one stream per chunk (chunk_gen.hpp).
+  detail::generate_chunked(
+      el, static_cast<count_t>(n),
+      [&](count_t c, count_t lo, count_t hi, auto& out) {
+        Rng rng = detail::chunk_rng(seed, 0x4A9D, c);
+        for (count_t i = lo; i < hi; ++i) {
+          const gid_t k = static_cast<gid_t>(i);
+          for (count_t j = 0; j < per_vertex; ++j) {
+            // Uniform offset in [-(davg-1), davg-1] \ {0}.
+            std::int64_t off =
+                static_cast<std::int64_t>(rng.next_below(window)) -
+                (static_cast<std::int64_t>(avg_degree) - 1);
+            if (off == 0) off = 1;
+            const gid_t target =
+                static_cast<gid_t>((static_cast<std::int64_t>(k) + off +
+                                    static_cast<std::int64_t>(n)) %
+                                   static_cast<std::int64_t>(n));
+            out.push_back({k, target});
+          }
+        }
+      });
   graph::canonicalize(el);
   return el;
 }

@@ -1,3 +1,4 @@
+#include "gen/chunk_gen.hpp"
 #include "gen/generators.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -16,34 +17,39 @@ EdgeList rmat(int scale, count_t avg_degree, std::uint64_t seed, double a,
   el.directed = false;
   el.edges.reserve(static_cast<std::size_t>(m));
 
-  Rng rng(seed, 0xD3A7);
-  for (count_t e = 0; e < m; ++e) {
-    gid_t u = 0, v = 0;
-    for (int level = 0; level < scale; ++level) {
-      // Noise on the quadrant probabilities (+-10%) de-correlates the
-      // recursion levels, the standard R-MAT smoothing.
-      const double na = a * (0.9 + 0.2 * rng.next_double());
-      const double nb = b * (0.9 + 0.2 * rng.next_double());
-      const double nc = c * (0.9 + 0.2 * rng.next_double());
-      const double nd = (1.0 - a - b - c) * (0.9 + 0.2 * rng.next_double());
-      const double norm = na + nb + nc + nd;
-      const double r = rng.next_double() * norm;
-      u <<= 1;
-      v <<= 1;
-      if (r < na) {
-        // upper-left: no bits set
-      } else if (r < na + nb) {
-        v |= 1;
-      } else if (r < na + nb + nc) {
-        u |= 1;
-      } else {
-        u |= 1;
-        v |= 1;
-      }
-    }
-    if (u == v) continue;
-    el.edges.push_back({u, v});
-  }
+  // Chunked over the m edge draws, one stream per chunk (chunk_gen.hpp).
+  detail::generate_chunked(
+      el, m, [&](count_t ch, count_t lo, count_t hi, auto& out) {
+        Rng rng = detail::chunk_rng(seed, 0xD3A7, ch);
+        for (count_t e = lo; e < hi; ++e) {
+          gid_t u = 0, v = 0;
+          for (int level = 0; level < scale; ++level) {
+            // Noise on the quadrant probabilities (+-10%) de-correlates
+            // the recursion levels, the standard R-MAT smoothing.
+            const double na = a * (0.9 + 0.2 * rng.next_double());
+            const double nb = b * (0.9 + 0.2 * rng.next_double());
+            const double nc = c * (0.9 + 0.2 * rng.next_double());
+            const double nd =
+                (1.0 - a - b - c) * (0.9 + 0.2 * rng.next_double());
+            const double norm = na + nb + nc + nd;
+            const double r = rng.next_double() * norm;
+            u <<= 1;
+            v <<= 1;
+            if (r < na) {
+              // upper-left: no bits set
+            } else if (r < na + nb) {
+              v |= 1;
+            } else if (r < na + nb + nc) {
+              u |= 1;
+            } else {
+              u |= 1;
+              v |= 1;
+            }
+          }
+          if (u == v) continue;
+          out.push_back({u, v});
+        }
+      });
   graph::canonicalize(el);
   return el;
 }

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gen/chunk_gen.hpp"
 #include "gen/generators.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -49,17 +50,23 @@ EdgeList watts_strogatz(gid_t n, count_t k, double beta, std::uint64_t seed) {
   el.n = n;
   el.directed = false;
   el.edges.reserve(static_cast<std::size_t>(n * (k / 2)));
-  Rng rng(seed, 0x3757);
-  for (gid_t v = 0; v < n; ++v) {
-    for (count_t j = 1; j <= k / 2; ++j) {
-      gid_t target = (v + static_cast<gid_t>(j)) % n;
-      if (rng.next_bool(beta)) {
-        target = rng.next_below(n);
-        if (target == v) target = (v + 1) % n;
-      }
-      el.edges.push_back({v, target});
-    }
-  }
+  // Chunked over vertices, one stream per chunk (chunk_gen.hpp).
+  detail::generate_chunked(
+      el, static_cast<count_t>(n),
+      [&](count_t c, count_t lo, count_t hi, auto& out) {
+        Rng rng = detail::chunk_rng(seed, 0x3757, c);
+        for (count_t i = lo; i < hi; ++i) {
+          const gid_t v = static_cast<gid_t>(i);
+          for (count_t j = 1; j <= k / 2; ++j) {
+            gid_t target = (v + static_cast<gid_t>(j)) % n;
+            if (rng.next_bool(beta)) {
+              target = rng.next_below(n);
+              if (target == v) target = (v + 1) % n;
+            }
+            out.push_back({v, target});
+          }
+        }
+      });
   graph::canonicalize(el);
   return el;
 }

@@ -36,6 +36,7 @@
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace xtra::graph {
 
@@ -83,22 +84,54 @@ class FrontierStepper {
     touched_.clear();
     cand_.clear();
 
-    // Single adjacency scan: ghost neighbors are relaxed and staged
-    // immediately (they become the wire notifications), owned
-    // neighbors are deferred — pre-filtered by the read-only test but
-    // collected unrelaxed as (source, target) candidate edges, so the
-    // relaxation work happens mid-flight instead of before the
-    // exchange starts.
-    for (const lid_t v : frontier)
-      for (const lid_t u : nbrs(v)) {
-        if (g.is_owned(u)) {
-          if (improves(v, u)) cand_.push_back({v, u});
-        } else if (relax(v, u) && !marked_[u]) {
+    // Adjacency scan, two phases so the edge traversal can run on the
+    // rank's thread pool.
+    //
+    // Phase A (parallel, read-only): each frontier chunk collects its
+    // candidate edges — owned and ghost alike pre-filtered by
+    // improves(v, u) against the scan-start state — into per-chunk
+    // lists. Nothing is relaxed, so concurrent chunks share only
+    // read-only state (improves is a read-only hook by contract).
+    //
+    // Phase B (serial, chunk order): ghost candidates are replayed
+    // through relax in exactly the order the old single interleaved
+    // scan visited them. Monotonicity makes the pre-filter exact: a
+    // ghost's value only improves during the replay, so an edge whose
+    // improves() was false at scan start relaxes to a no-op at replay
+    // time too — the touched list, the marks, and hence the wire
+    // records are identical to the interleaved scan's, at any thread
+    // count including one. Owned candidates concatenate in the same
+    // chunk order (owned state never moves during the scan), then
+    // relax mid-flight below, unchanged.
+    const count_t nf = static_cast<count_t>(frontier.size());
+    const count_t nchunks = par::chunk_count(nf);
+    if (static_cast<count_t>(scan_owned_.size()) < nchunks) {
+      scan_owned_.resize(static_cast<std::size_t>(nchunks));
+      scan_ghost_.resize(static_cast<std::size_t>(nchunks));
+    }
+    par::for_chunks(nf, [&](count_t c, count_t lo, count_t hi) {
+      auto& owned = scan_owned_[static_cast<std::size_t>(c)];
+      auto& ghost = scan_ghost_[static_cast<std::size_t>(c)];
+      owned.clear();
+      ghost.clear();
+      for (count_t i = lo; i < hi; ++i) {
+        const lid_t v = frontier[static_cast<std::size_t>(i)];
+        for (const lid_t u : nbrs(v)) {
+          if (!improves(v, u)) continue;
+          (g.is_owned(u) ? owned : ghost).push_back({v, u});
+        }
+      }
+    });
+    for (count_t c = 0; c < nchunks; ++c) {
+      for (const auto& [v, u] : scan_ghost_[static_cast<std::size_t>(c)])
+        if (relax(v, u) && !marked_[u]) {
           marked_[u] = 1;
           stamped_.push_back(u);
           touched_.push_back(u);
         }
-      }
+      const auto& owned = scan_owned_[static_cast<std::size_t>(c)];
+      cand_.insert(cand_.end(), owned.begin(), owned.end());
+    }
     buckets_.begin(comm.size());
     for (const lid_t l : touched_) buckets_.count(g.owner_of(l));
     buckets_.commit();
@@ -139,6 +172,9 @@ class FrontierStepper {
   std::vector<lid_t> touched_;                 ///< ghosts to notify
   std::vector<std::uint8_t> marked_;           ///< admitted-this-level mask
   std::vector<lid_t> stamped_;                 ///< marked_ entries to clear
+  /// Per-chunk phase-A scratch (persistent across levels).
+  std::vector<std::vector<std::pair<lid_t, lid_t>>> scan_owned_;
+  std::vector<std::vector<std::pair<lid_t, lid_t>>> scan_ghost_;
 };
 
 }  // namespace xtra::graph

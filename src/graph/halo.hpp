@@ -43,6 +43,7 @@
 #include "graph/dist_graph.hpp"
 #include "mpisim/comm.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace xtra::graph {
 
@@ -118,9 +119,33 @@ class HaloPlan {
   /// interior, scatter the arriving ghosts. The invariant (boundary
   /// before prefetch, interior before finish) lives here so kernels —
   /// and SuperstepPipeline's depth-0 path — don't open-code it.
+  ///
+  /// `parallel` runs both sweeps as chunked par::for_chunks regions on
+  /// the rank's thread pool. The caller guarantees update(v) is safe
+  /// for concurrent distinct v (writes only v's own slots — the
+  /// engine's kParallelUpdate trait); the wire calls stay on the rank
+  /// thread, so pool workers never touch collectives.
   template <typename T, typename Fn, typename Mid>
   void overlapped_superstep(sim::Comm& comm, std::vector<T>& vals,
-                            Fn&& update, Mid&& mid) {
+                            Fn&& update, Mid&& mid, bool parallel = false) {
+    if (parallel) {
+      par::for_chunks(static_cast<count_t>(boundary_lids_.size()),
+                      [&](count_t, count_t lo, count_t hi) {
+                        for (count_t i = lo; i < hi; ++i)
+                          update(boundary_lids_[static_cast<std::size_t>(i)]);
+                      });
+      prefetch_next(comm, vals);
+      mid();
+      par::for_chunks(static_cast<count_t>(boundary_mask_.size()),
+                      [&](count_t, count_t lo, count_t hi) {
+                        for (count_t i = lo; i < hi; ++i) {
+                          const lid_t v = static_cast<lid_t>(i);
+                          if (!is_boundary(v)) update(v);
+                        }
+                      });
+      finish_prefetch(comm, vals);
+      return;
+    }
     for (const lid_t v : boundary_lids_) update(v);
     prefetch_next(comm, vals);
     mid();
@@ -240,19 +265,61 @@ class SuperstepPipeline {
   /// before returning; at depth >= 1 it stays in flight and the
   /// *previous* superstep's refresh is drained incrementally between
   /// interior compute chunks.
+  ///
+  /// `parallel` runs the produce sweeps on the rank's thread pool
+  /// (caller guarantees produce(v) is concurrency-safe for distinct
+  /// v). At depth >= 1 the interior is then grouped by *lid range*
+  /// instead of by interior count — the group boundaries must not
+  /// depend on who computes what, and a lid-range split keeps each
+  /// drain between two fixed chunked regions. Both groupings drain the
+  /// same phases before the superstep returns, so end-of-superstep
+  /// state is identical; only the mid-superstep arrival interleaving
+  /// differs, which a parallel-safe produce (one that never reads
+  /// ghost entries mid-sweep, or tolerates any staleness mix) cannot
+  /// observe. The drain itself stays on the rank thread.
   template <typename Produce, typename Mid>
   void superstep(sim::Comm& comm, std::vector<T>& vals, Produce&& produce,
-                 Mid&& mid) {
+                 Mid&& mid, bool parallel = false) {
     const lid_t n_local = halo_.n_local();
     if (depth_ == 0) {
       halo_.overlapped_superstep(comm, vals, std::forward<Produce>(produce),
-                                 std::forward<Mid>(mid));
+                                 std::forward<Mid>(mid), parallel);
       return;
     }
 
     // Depth >= 1. Boundary first (its ghost reads honor the staleness
     // contract); then interleave the interior with the incremental
     // drain of the refresh carried over from the previous superstep.
+    if (parallel) {
+      const auto& blids = halo_.boundary_lids();
+      par::for_chunks(static_cast<count_t>(blids.size()),
+                      [&](count_t, count_t lo, count_t hi) {
+                        for (count_t i = lo; i < hi; ++i)
+                          produce(blids[static_cast<std::size_t>(i)]);
+                      });
+      const count_t steps = halo_.prefetch_phases_left();  // rank-uniform
+      if (steps > 0) halo_.note_pipeline_carry(1);
+      const count_t n = static_cast<count_t>(n_local);
+      for (count_t s = 0; s <= steps; ++s) {
+        // Group s of steps+1 even lid slices; slice bounds are local
+        // but the drain-call count (`steps`) is globally agreed, so
+        // every rank interleaves the same collectives.
+        const count_t glo = (s * n) / (steps + 1);
+        const count_t ghi = ((s + 1) * n) / (steps + 1);
+        par::for_chunks(ghi - glo, [&](count_t, count_t lo, count_t hi) {
+          for (count_t i = glo + lo; i < glo + hi; ++i) {
+            const lid_t v = static_cast<lid_t>(i);
+            if (!halo_.is_boundary(v)) produce(v);
+          }
+        });
+        if (s < steps) (void)halo_.drain_prefetch_one(comm, vals);
+      }
+      XTRA_ASSERT_MSG(!halo_.prefetch_in_flight(),
+                      "pipeline drain count disagreed with the phase plan");
+      halo_.prefetch_next(comm, vals);  // carried into the next superstep
+      mid();
+      return;
+    }
     for (const lid_t v : halo_.boundary_lids()) produce(v);
     const count_t steps = halo_.prefetch_phases_left();  // rank-uniform
     if (steps > 0) halo_.note_pipeline_carry(1);

@@ -6,6 +6,7 @@
 
 #include "comm/dest_buckets.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace xtra::spmv {
@@ -212,6 +213,16 @@ SpmvStats DistSpmv::run(sim::Comm& comm, int iters) {
       sum += xcol[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(i)])];
     y_partial[static_cast<std::size_t>(r)] = sum;
   };
+  // Chunked on the ambient par::ThreadScope width (the "+X" threads):
+  // rows write disjoint y_partial slots and each row's sum keeps its
+  // serial association, so the result is bit-identical at any width.
+  const auto mult_rows = [&](const std::vector<count_t>& rows) {
+    par::for_chunks(static_cast<count_t>(rows.size()),
+                    [&](count_t, count_t lo, count_t hi) {
+                      for (count_t i = lo; i < hi; ++i)
+                        row_mult(rows[static_cast<std::size_t>(i)]);
+                    });
+  };
 
   for (int iter = 0; iter < iters; ++iter) {
     // Expand: owners ship x values to every rank holding a matching
@@ -226,12 +237,12 @@ SpmvStats DistSpmv::run(sim::Comm& comm, int iters) {
     for (std::size_t i = 0; i < x_self_dst_.size(); ++i)
       xcol[static_cast<std::size_t>(x_self_dst_[i])] =
           x[static_cast<std::size_t>(x_self_src_[i])];
-    for (const count_t r : rows_interior_) row_mult(r);
+    mult_rows(rows_interior_);  // overlaps the in-flight x import
     const std::span<const double> ximp = ex_.finish<double>(comm);
     XTRA_ASSERT(ximp.size() == x_recv_slot_.size());
     for (std::size_t i = 0; i < ximp.size(); ++i)
       xcol[static_cast<std::size_t>(x_recv_slot_[i])] = ximp[i];
-    for (const count_t r : rows_boundary_) row_mult(r);
+    mult_rows(rows_boundary_);
 
     // Fold: partials travel to the row owner and accumulate.
     for (std::size_t i = 0; i < y_send_row_.size(); ++i)

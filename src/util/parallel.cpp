@@ -1,0 +1,182 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace xtra::par {
+
+namespace {
+
+thread_local int tl_threads = 1;
+thread_local int tl_slot = 0;
+thread_local bool tl_in_region = false;
+
+/// The per-rank worker pool. Workers are spawned lazily on the first
+/// dispatch that wants them and park on a condition variable between
+/// jobs; the epoch counter is the job handoff. All chunk-body side
+/// effects are published to the caller through the done_/cv_done_
+/// rendezvous (mutex acquire/release), so readers after dispatch()
+/// returns see every write a worker made — the happens-before edge
+/// ThreadSanitizer checks for.
+class Pool {
+ public:
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Run fn(chunk, slot) over [0, nchunks) on the caller (slot 0) plus
+  /// nthreads-1 workers (slots 1..). Blocks until all chunks ran;
+  /// rethrows the first chunk exception.
+  void run(int nthreads, count_t nchunks,
+           const std::function<void(count_t, int)>& fn) {
+    const int helpers = nthreads - 1;
+    ensure_workers(helpers);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      fn_ = &fn;
+      nchunks_ = nchunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      failed_.store(false, std::memory_order_relaxed);
+      error_ = nullptr;
+      active_ = helpers;
+      done_ = 0;
+      ++epoch_;
+    }
+    cv_start_.notify_all();
+
+    work(fn, 0);
+
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] { return done_ == active_; });
+    fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void ensure_workers(int helpers) {
+    while (static_cast<int>(workers_.size()) < helpers) {
+      const int slot = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, slot] { worker_main(slot); });
+    }
+  }
+
+  /// Chunk loop shared by the caller and the workers: dynamic chunk
+  /// claiming is safe under the determinism contract because chunk
+  /// results land in per-chunk slots — the assignment never shows.
+  void work(const std::function<void(count_t, int)>& fn, int slot) {
+    tl_slot = slot;
+    tl_in_region = true;
+    count_t c;
+    while (!failed_.load(std::memory_order_relaxed) &&
+           (c = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+               nchunks_) {
+      try {
+        fn(c, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+    tl_in_region = false;
+    tl_slot = 0;
+  }
+
+  void worker_main(int slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(count_t, int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        if (slot > active_) continue;  // not enlisted for this job
+        fn = fn_;
+      }
+      work(*fn, slot);
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        ++done_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_start_, cv_done_;
+  std::vector<std::thread> workers_;
+
+  const std::function<void(count_t, int)>* fn_ = nullptr;
+  count_t nchunks_ = 0;
+  std::atomic<count_t> next_chunk_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  int active_ = 0;  ///< workers enlisted for the current job
+  int done_ = 0;    ///< workers finished with the current job
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+/// One pool per rank thread, started on first parallel use, torn down
+/// when the rank thread exits (sim::run_world joins its ranks, so
+/// worlds never leak pools).
+thread_local std::unique_ptr<Pool> tl_pool;
+
+}  // namespace
+
+int num_threads() { return tl_threads; }
+int current_slot() { return tl_slot; }
+bool in_parallel_region() { return tl_in_region; }
+
+ThreadScope::ThreadScope(int n) : prev_(tl_threads) {
+  XTRA_ASSERT_MSG(!tl_in_region,
+                  "ThreadScope may not open inside a parallel region");
+  tl_threads = std::clamp(n, 1, kMaxThreads);
+}
+
+ThreadScope::~ThreadScope() { tl_threads = prev_; }
+
+namespace detail {
+
+void dispatch(count_t nchunks, const std::function<void(count_t, int)>& fn) {
+  if (tl_in_region)
+    throw std::logic_error(
+        "par::for_chunks: nested parallel regions are not supported");
+  const count_t want = std::min<count_t>(nchunks, tl_threads);
+  if (want <= 1) {
+    // Serial execution of the same chunk layout: byte-identical to any
+    // thread count by the determinism contract.
+    tl_in_region = true;
+    try {
+      for (count_t c = 0; c < nchunks; ++c) fn(c, 0);
+    } catch (...) {
+      tl_in_region = false;
+      throw;
+    }
+    tl_in_region = false;
+    return;
+  }
+  if (!tl_pool) tl_pool = std::make_unique<Pool>();
+  tl_pool->run(static_cast<int>(want), nchunks, fn);
+}
+
+}  // namespace detail
+
+}  // namespace xtra::par

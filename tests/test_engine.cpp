@@ -505,6 +505,165 @@ TEST(EngineConfig, ZeroSuperstepCapRunsNone) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// MPI+X thread determinism. The intra-rank thread width is a pure
+// throughput knob: every transport cell must produce byte-identical
+// per-vertex results AND an identical wire ledger at threads = 1, 2, 8
+// (8 exceeds this container's cores, so oversubscription is covered).
+
+/// Every deterministic counter of the run's wire accounting (times
+/// excluded), plus the superstep count.
+std::vector<count_t> wire_ledger(const engine::Stats& st) {
+  const comm::ExchangeStats& ex = st.exchange;
+  return {st.comm_bytes,          st.supersteps,
+          ex.exchanges,           ex.phases,
+          ex.records_sent,        ex.bytes_sent,
+          ex.inter_node_bytes,    ex.intra_node_bytes,
+          ex.inter_node_msgs,     ex.coalesced_flushes,
+          ex.overlapped,          ex.max_inflight_bytes,
+          ex.drained_incrementally, ex.pipeline_carried,
+          ex.max_pipeline_depth};
+}
+
+TEST(EngineThreads, PageRankBitIdenticalAcrossThreadCountsAndKnobs) {
+  const EdgeList el = gen::erdos_renyi(1'000, 8, 11);
+  for (const engine::Config& base : knob_matrix()) {
+    // Coalescing needs a change-converging program; CommLP covers
+    // those cells below.
+    if (base.coalesce_every != 0) continue;
+    std::vector<double> ref;
+    std::vector<count_t> ref_wire;
+    for (const int threads : {1, 2, 8}) {
+      sim::run_world(
+          4,
+          [&](sim::Comm& comm) {
+            const DistGraph g =
+                build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+            PageRankProgram p;
+            engine::Config cfg = base;
+            cfg.max_supersteps = 12;
+            cfg.num_threads = threads;
+            const engine::Stats st = engine::run(comm, g, p, cfg);
+            EXPECT_EQ(st.num_threads, threads) << cfg_name(base);
+            const auto global = by_gid(comm, g, p.rank);
+            auto wire = wire_ledger(st);
+            comm.allreduce_max(wire);  // any rank drift fails the compare
+            if (comm.rank() != 0) return;
+            if (threads == 1) {
+              ref = global;
+              ref_wire = wire;
+            } else {
+              EXPECT_EQ(global, ref)
+                  << cfg_name(base) << " threads=" << threads;
+              EXPECT_EQ(wire, ref_wire)
+                  << cfg_name(base) << " threads=" << threads;
+            }
+          },
+          /*ranks_per_node=*/2);
+    }
+  }
+}
+
+TEST(EngineThreads, CommLpBitIdenticalAcrossThreadCountsAndKnobs) {
+  const EdgeList el = gen::community_graph(1'000, 10, 0.7, 2.3, 5);
+  for (const engine::Config& base : knob_matrix()) {
+    std::vector<gid_t> ref;
+    std::vector<count_t> ref_wire;
+    for (const int threads : {1, 2, 8}) {
+      sim::run_world(
+          4,
+          [&](sim::Comm& comm) {
+            const DistGraph g =
+                build_dist_graph(comm, el, VertexDist::random(el.n, 4, 4));
+            CommLpProgram p;
+            engine::Config cfg = base;
+            cfg.max_supersteps = 10;
+            cfg.num_threads = threads;
+            const engine::Stats st = engine::run(comm, g, p, cfg);
+            const auto global = by_gid(comm, g, p.label);
+            auto wire = wire_ledger(st);
+            comm.allreduce_max(wire);
+            if (comm.rank() != 0) return;
+            if (threads == 1) {
+              ref = global;
+              ref_wire = wire;
+            } else {
+              EXPECT_EQ(global, ref)
+                  << cfg_name(base) << " threads=" << threads;
+              EXPECT_EQ(wire, ref_wire)
+                  << cfg_name(base) << " threads=" << threads;
+            }
+          },
+          /*ranks_per_node=*/2);
+    }
+  }
+}
+
+// The frontier engine's two-phase scan: SSSP results and wire ledger
+// must not notice the thread width either.
+TEST(EngineThreads, SsspBitIdenticalAcrossThreadCounts) {
+  const EdgeList el = gen::erdos_renyi(800, 6, 13);
+  std::vector<count_t> ref;
+  std::vector<count_t> ref_wire;
+  for (const int threads : {1, 2, 8}) {
+    sim::run_world(4, [&](sim::Comm& comm) {
+      const DistGraph g =
+          build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+      DeltaSsspProgram p;
+      p.root = 3;
+      p.delta = 8;
+      engine::Config cfg;
+      cfg.num_threads = threads;
+      const engine::Stats st = engine::run(comm, g, p, cfg);
+      const auto global = by_gid(comm, g, p.dist);
+      auto wire = wire_ledger(st);
+      comm.allreduce_max(wire);
+      if (comm.rank() != 0) return;
+      if (threads == 1) {
+        ref = global;
+        ref_wire = wire;
+      } else {
+        EXPECT_EQ(global, ref) << "threads=" << threads;
+        EXPECT_EQ(wire, ref_wire) << "threads=" << threads;
+      }
+    });
+  }
+}
+
+// Triangle count stages its queries through the sharded emission layer
+// (comm/sharded_buckets.hpp): the estimate and the query traffic must
+// be slot-exact at any width.
+TEST(EngineThreads, TriangleCountBitIdenticalAcrossThreadCounts) {
+  const EdgeList el = gen::community_graph(800, 12, 0.6, 2.3, 9);
+  double ref_triangles = 0.0;
+  count_t ref_sampled = 0;
+  std::vector<count_t> ref_wire;
+  for (const int threads : {1, 2, 8}) {
+    sim::run_world(2, [&](sim::Comm& comm) {
+      const DistGraph g =
+          build_dist_graph(comm, el, VertexDist::random(el.n, 2, 3));
+      TriangleCountProgram p;
+      p.sample_cap = 64;
+      engine::Config cfg;
+      cfg.max_supersteps = 1;  // single staging superstep, as the wrapper
+      cfg.num_threads = threads;
+      const engine::Stats st = engine::run(comm, g, p, cfg);
+      auto wire = wire_ledger(st);
+      comm.allreduce_max(wire);
+      if (comm.rank() != 0) return;
+      if (threads == 1) {
+        ref_triangles = p.triangles;
+        ref_sampled = p.sampled_centers;
+        ref_wire = wire;
+      } else {
+        EXPECT_EQ(p.triangles, ref_triangles) << "threads=" << threads;
+        EXPECT_EQ(p.sampled_centers, ref_sampled) << "threads=" << threads;
+        EXPECT_EQ(wire, ref_wire) << "threads=" << threads;
+      }
+    });
+  }
+}
+
 // The engine's pipeline ledger lights up when a dense program runs at
 // depth 1 (the WCC/commLP pipeline support the engine added).
 TEST(EngineStats, PipelineCarryRecordedAtDepth1) {

@@ -1,0 +1,178 @@
+// Unit tests for the deterministic chunked parallel-for layer: chunk
+// layout invariance, chunk-ordered reduction, exception propagation,
+// nested-call rejection, and per-rank pools under the simulated world.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "mpisim/comm.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace xtra {
+namespace {
+
+TEST(Parallel, ChunkLayoutIsThreadInvariant) {
+  const count_t n = 10 * par::kChunkGrain + 137;
+  std::vector<std::pair<count_t, count_t>> ref;
+  for (const int t : {1, 2, 8}) {
+    par::ThreadScope scope(t);
+    std::vector<std::pair<count_t, count_t>> bounds(
+        static_cast<std::size_t>(par::chunk_count(n)));
+    par::for_chunks(n, [&](count_t c, count_t lo, count_t hi) {
+      bounds[static_cast<std::size_t>(c)] = {lo, hi};
+    });
+    if (t == 1) {
+      ref = bounds;
+      // Chunks tile [0, n) in order with the fixed grain.
+      count_t at = 0;
+      for (const auto& [lo, hi] : bounds) {
+        EXPECT_EQ(lo, at);
+        EXPECT_GT(hi, lo);
+        EXPECT_LE(hi - lo, par::kChunkGrain);
+        at = hi;
+      }
+      EXPECT_EQ(at, n);
+    } else {
+      EXPECT_EQ(bounds, ref) << "thread count changed the chunk layout";
+    }
+  }
+}
+
+TEST(Parallel, PerChunkWritesAreDeterministic) {
+  const count_t n = 5 * par::kChunkGrain + 77;
+  std::vector<std::uint64_t> ref;
+  for (const int t : {1, 2, 8}) {
+    par::ThreadScope scope(t);
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(n), 0);
+    par::for_chunks(n, [&](count_t c, count_t lo, count_t hi) {
+      for (count_t i = lo; i < hi; ++i)
+        out[static_cast<std::size_t>(i)] =
+            splitmix64(static_cast<std::uint64_t>(i) ^
+                       static_cast<std::uint64_t>(c));
+    });
+    if (t == 1)
+      ref = out;
+    else
+      EXPECT_EQ(out, ref);
+  }
+}
+
+TEST(Parallel, OrderedSumIsBitIdenticalAcrossThreadCounts) {
+  const count_t n = 7 * par::kChunkGrain + 311;
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  Rng rng(42);
+  for (auto& v : vals) v = rng.next_double() * 2.0 - 1.0;
+
+  double ref = 0.0;
+  for (const int t : {1, 2, 8}) {
+    par::ThreadScope scope(t);
+    const double sum =
+        par::ordered_sum(n, [&](count_t, count_t lo, count_t hi) {
+          double s = 0.0;
+          for (count_t i = lo; i < hi; ++i)
+            s += vals[static_cast<std::size_t>(i)];
+          return s;
+        });
+    if (t == 1) {
+      ref = sum;
+    } else {
+      // Bit identity, not approximate equality: the chunk-ordered
+      // reduction must not depend on who executed which chunk.
+      EXPECT_EQ(sum, ref);
+    }
+  }
+}
+
+TEST(Parallel, ExceptionsPropagateToTheCaller) {
+  for (const int t : {1, 8}) {
+    par::ThreadScope scope(t);
+    EXPECT_THROW(
+        par::for_chunks(20 * par::kChunkGrain,
+                        [&](count_t c, count_t, count_t) {
+                          if (c == 13) throw std::runtime_error("chunk 13");
+                        }),
+        std::runtime_error);
+    // The pool must be usable again after a failed region.
+    std::atomic<count_t> ran{0};
+    par::for_chunks(4 * par::kChunkGrain, [&](count_t, count_t, count_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 4);
+  }
+}
+
+TEST(Parallel, NestedCallsAreRejected) {
+  for (const int t : {1, 8}) {
+    par::ThreadScope scope(t);
+    EXPECT_THROW(par::for_chunks(8 * par::kChunkGrain,
+                                 [&](count_t, count_t, count_t) {
+                                   par::for_chunks(
+                                       par::kChunkGrain,
+                                       [](count_t, count_t, count_t) {});
+                                 }),
+                 std::logic_error);
+  }
+  EXPECT_FALSE(par::in_parallel_region());
+}
+
+TEST(Parallel, SlotsStayWithinTheConfiguredWidth) {
+  par::ThreadScope scope(8);
+  const count_t n = 64 * par::kChunkGrain;
+  std::vector<int> slot_of_chunk(static_cast<std::size_t>(par::chunk_count(n)),
+                                 -1);
+  par::for_chunks(n, [&](count_t c, count_t, count_t) {
+    slot_of_chunk[static_cast<std::size_t>(c)] = par::current_slot();
+  });
+  for (const int s : slot_of_chunk) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 8);
+  }
+  EXPECT_EQ(par::current_slot(), 0);
+}
+
+TEST(Parallel, ThreadScopeRestoresOnExit) {
+  EXPECT_EQ(par::num_threads(), 1);
+  {
+    par::ThreadScope outer(4);
+    EXPECT_EQ(par::num_threads(), 4);
+    {
+      par::ThreadScope inner(2);
+      EXPECT_EQ(par::num_threads(), 2);
+    }
+    EXPECT_EQ(par::num_threads(), 4);
+  }
+  EXPECT_EQ(par::num_threads(), 1);
+}
+
+TEST(Parallel, EachSimulatedRankGetsItsOwnPool) {
+  // Every rank runs a threaded region concurrently; per-rank results
+  // must be independent and deterministic.
+  sim::run_world(4, [](sim::Comm& comm) {
+    par::ThreadScope scope(4);
+    const count_t n = 6 * par::kChunkGrain + comm.rank();
+    const double sum =
+        par::ordered_sum(n, [&](count_t, count_t lo, count_t hi) {
+          double s = 0.0;
+          for (count_t i = lo; i < hi; ++i)
+            s += std::sqrt(static_cast<double>(i + 1));
+          return s;
+        });
+    par::ThreadScope serial(1);
+    const double again =
+        par::ordered_sum(n, [&](count_t, count_t lo, count_t hi) {
+          double s = 0.0;
+          for (count_t i = lo; i < hi; ++i)
+            s += std::sqrt(static_cast<double>(i + 1));
+          return s;
+        });
+    if (sum != again) throw std::runtime_error("rank-local nondeterminism");
+    (void)comm.allreduce_sum(sum);  // collectives still rank-granular
+  });
+}
+
+}  // namespace
+}  // namespace xtra

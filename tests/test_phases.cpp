@@ -206,6 +206,38 @@ TEST_P(PhaseRanks, NoPhaseEverEmptiesAPart) {
   });
 }
 
+// MPI+X thread determinism: the partitioner's scan/commit split
+// (core/sweep.hpp) makes the thread width a pure throughput knob — the
+// full driver must emit byte-identical labels and identical wire
+// traffic at threads = 1, 2, 8 (8 oversubscribes this container).
+TEST(PhaseThreads, PartitionBitIdenticalAcrossThreadCounts) {
+  const EdgeList el = gen::community_graph(3000, 10, 0.7, 2.3, 7);
+  std::vector<part_t> ref;
+  count_t ref_bytes = 0;
+  for (const int threads : {1, 2, 8}) {
+    sim::run_world(4, [&](sim::Comm& comm) {
+      const DistGraph g =
+          build_dist_graph(comm, el, VertexDist::random(el.n, 4, 7));
+      Params params;
+      params.nparts = 8;
+      params.edge_phases = true;
+      params.num_threads = threads;
+      const PartitionResult r = partition(comm, g, params);
+      const std::vector<part_t> global =
+          gather_global_parts(comm, g, r.parts);
+      const count_t bytes = comm.allreduce_sum(r.comm_bytes);
+      if (comm.rank() != 0) return;
+      if (threads == 1) {
+        ref = global;
+        ref_bytes = bytes;
+      } else {
+        EXPECT_EQ(global, ref) << "threads=" << threads;
+        EXPECT_EQ(bytes, ref_bytes) << "threads=" << threads;
+      }
+    });
+  }
+}
+
 TEST(NeighborCountsScratch, AccumulatesAndResets) {
   NeighborCounts counts(8);
   counts.add(3, 2.0);

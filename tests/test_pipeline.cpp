@@ -23,6 +23,7 @@
 #include "graph/dist_graph.hpp"
 #include "graph/halo.hpp"
 #include "mpisim/comm.hpp"
+#include "util/parallel.hpp"
 
 namespace xtra {
 namespace {
@@ -347,6 +348,65 @@ TEST(HaloPipeline, Depth1CarriesRefreshAndFlushesToOwnersValues) {
       EXPECT_EQ(halo.stats().pipeline_carried, kIters - 1);
       EXPECT_EQ(halo.stats().max_pipeline_depth, 1);
       EXPECT_GT(halo.stats().drained_incrementally, 0);
+    });
+  }
+}
+
+// MPI+X: the parallel drive (chunked sweeps at depth 0, lid-range
+// drain groups at depth >= 1) must land every superstep in the same
+// state as the serial grouping, with the same wire bytes. This is also
+// the case the CI ThreadSanitizer job hammers at threads = 8.
+TEST(HaloPipeline, ParallelSuperstepBitIdenticalAtEveryDepth) {
+  const graph::EdgeList el = gen::erdos_renyi(400, 8, 37);
+  for (const int depth : {0, 1}) {
+    sim::run_world(4, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, 4, 5));
+      constexpr int kIters = 4;
+      // Two sequential pipelines (a depth-1 refresh stays in flight
+      // across supersteps, and the substrate allows one nonblocking
+      // alltoallv at a time): serial records its trajectory, the
+      // parallel replay must reproduce it superstep by superstep.
+      std::vector<std::vector<gid_t>> trace;
+      count_t ref_bytes = 0;
+      {
+        graph::HaloPlan halo(comm, g);
+        graph::SuperstepPipeline<gid_t> pipe(halo, depth);
+        std::vector<gid_t> vals(g.n_total());
+        for (lid_t v = 0; v < g.n_total(); ++v) vals[v] = g.gid_of(v);
+        for (int iter = 1; iter <= kIters; ++iter) {
+          pipe.superstep(
+              comm, vals,
+              [&](lid_t v) {
+                vals[v] = vals[v] * 5 + static_cast<gid_t>(iter);
+              },
+              [] {});
+          trace.push_back(vals);
+        }
+        pipe.flush(comm, vals);
+        trace.push_back(vals);
+        ref_bytes = halo.stats().bytes_sent;
+      }
+      {
+        graph::HaloPlan halo(comm, g);
+        graph::SuperstepPipeline<gid_t> pipe(halo, depth);
+        std::vector<gid_t> vals(g.n_total());
+        for (lid_t v = 0; v < g.n_total(); ++v) vals[v] = g.gid_of(v);
+        par::ThreadScope threads(8);  // oversubscribes this container
+        for (int iter = 1; iter <= kIters; ++iter) {
+          pipe.superstep(
+              comm, vals,
+              [&](lid_t v) {
+                vals[v] = vals[v] * 5 + static_cast<gid_t>(iter);
+              },
+              [] {}, /*parallel=*/true);
+          ASSERT_EQ(vals, trace[static_cast<std::size_t>(iter - 1)])
+              << "depth=" << depth << " iter=" << iter;
+        }
+        pipe.flush(comm, vals);
+        ASSERT_EQ(vals, trace.back()) << "depth=" << depth;
+        EXPECT_EQ(halo.stats().bytes_sent, ref_bytes) << "depth=" << depth;
+      }
     });
   }
 }
