@@ -23,10 +23,21 @@ superstep than its commlp_uncoalesced twin — batching per-destination
 label updates across supersteps exists to amortize per-superstep
 collective overhead, and a row that stops doing so is a regression
 even when it stays inside the baseline tolerance. The pipelined
-analytics rows (pagerank/kcore blocking vs pipelined, halo_pipeline_*)
-have no absolute contract beyond the baseline: bytes and collectives
-per superstep must simply not grow — the pipeline changes when
-arrivals land, not what travels.
+analytics rows keep bytes and collectives per superstep flat across
+depths — the pipeline changes when arrivals land, not what travels —
+and additionally carry a pipeline-depth contract: every depth-2 row
+(halo_pipeline_d2, pagerank_pipelined_d2, commlp_pipelined_d2) must
+report strictly less exposed_wire_seconds_per_iter than its depth-1
+twin, because two supersteps of compute hide more of each modeled
+transfer than one. Exposure is never part of the baseline tolerance
+compare — its overlap credit is wall clock, so only the within-run
+depth ordering is gated, not its absolute value.
+
+The one-sided rows (*_onesided twins of halo_exchange and the engine
+rows) carry another absolute contract: pull-mode must move no more
+wire bytes per iteration than the two-sided twin, and must actually
+bill one-sided traffic (a zero one_sided_bytes_per_iter means the
+backend knob silently fell back to push mode).
 
 The unified engine carries a third absolute contract: the
 pagerank_engine / commlp_engine rows (kernels executed directly via
@@ -79,28 +90,53 @@ THREAD_METRICS = ("bytes_per_iter", "collectives_per_iter",
                   "inter_node_bytes_per_iter",
                   "intra_node_bytes_per_iter",
                   "inter_node_msgs_per_iter")
+# Pipeline-depth rows: a depth-2 row keeps two refreshes in flight, so
+# it must expose strictly less modeled wire time per iteration than its
+# depth-1 twin (same traffic, more of it hidden behind compute). Keyed
+# deep-row -> shallow-row bench name; nranks/max_send_bytes must match.
+DEPTH_PAIRS = (("halo_pipeline_d2", "halo_pipeline_d1"),
+               ("pagerank_pipelined_d2", "pagerank_pipelined"),
+               ("commlp_pipelined_d2", "commlp_pipelined_d1"))
+EXPOSED = "exposed_wire_seconds_per_iter"
+# One-sided rows: "<bench>_onesided" pulls the same payload from
+# exposure windows instead of pushing it through alltoallv. It must
+# not move more wire bytes per iteration than its two-sided twin.
+ONESIDED_ROW = re.compile(r"^(.+)_onesided$")
+ONESIDED_SLACK = 1.001  # equality modulo float formatting
 
 
 def run_bench(bench, min_time):
     # Newer google-benchmark releases require a unit suffix on
     # --benchmark_min_time ("0.01s"); older ones reject it. Try the
-    # given spelling first, then the other form.
+    # given spelling first, then the other form. Every failed attempt
+    # is kept and replayed to stderr on exit — the first attempt's
+    # output usually carries the real diagnostic, and the retry must
+    # not swallow it.
     variants = [min_time]
     variants.append(min_time[:-1] if min_time.endswith("s")
                     else min_time + "s")
+    attempts = []
     for i, mt in enumerate(variants):
         cmd = [bench, f"--benchmark_min_time={mt}"]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode == 0:
             return proc.stdout
+        attempts.append((cmd, proc.returncode,
+                         proc.stdout + proc.stderr))
         # Only retry the other spelling for a flag-parse rejection; a
         # real bench failure should surface immediately, not after a
         # second full sweep.
-        blob = proc.stdout + proc.stderr
-        if i + 1 < len(variants) and "min_time" in blob:
+        if i + 1 < len(variants) and "min_time" in attempts[-1][2]:
             continue
-        sys.stderr.write(blob)
-        sys.exit(f"bench exited with {proc.returncode}: {' '.join(cmd)}")
+        break
+    for cmd, code, blob in attempts:
+        sys.stderr.write(f"--- {' '.join(cmd)} (exit {code}) ---\n")
+        sys.stderr.write(blob if blob.endswith("\n") or not blob
+                         else blob + "\n")
+    first_cmd, first_code, _ = attempts[0]
+    sys.exit(f"bench failed on all {len(attempts)} attempt(s); first: "
+             f"'{' '.join(first_cmd)}' exited with {first_code} "
+             f"(full output of every attempt above)")
 
 
 def parse_rows(stdout):
@@ -222,6 +258,69 @@ def check_thread_contract(current):
     return failures
 
 
+def check_depth_contract(current):
+    """Depth-2 pipeline rows must expose strictly less modeled wire
+    time per iteration than their depth-1 twins: deeper overlap is the
+    point of the multi-channel substrate, and exposure is the metric
+    that sees it (bytes and collectives stay flat by design)."""
+    failures = []
+    pairs = 0
+    for deep_name, shallow_name in DEPTH_PAIRS:
+        for key, deep in current.items():
+            if key[0] != deep_name:
+                continue
+            shallow = current.get((shallow_name, key[1], key[2]))
+            if shallow is None:
+                failures.append(
+                    f"{key}: no {shallow_name} twin row to compare "
+                    f"against")
+                continue
+            pairs += 1
+            d, s = deep.get(EXPOSED), shallow.get(EXPOSED)
+            if d is None or s is None:
+                failures.append(f"{key}: {EXPOSED} missing from the "
+                                f"depth pair")
+            elif not d < s:
+                failures.append(
+                    f"{key}: {EXPOSED} {d:.4f} not strictly below "
+                    f"{shallow_name} twin's {s:.4f} (a deeper pipeline "
+                    f"must hide more of the same traffic)")
+    if pairs == 0:
+        failures.append("no pipeline depth-pair rows in the current run")
+    return failures
+
+
+def check_onesided_contract(current):
+    """*_onesided rows must move no more wire bytes per iteration than
+    their two-sided twins — pull-mode re-routes the payload through
+    window gets, it must not inflate it."""
+    failures = []
+    pairs = 0
+    for key, row in current.items():
+        m = ONESIDED_ROW.match(key[0])
+        if m is None:
+            continue
+        twin = current.get((m.group(1), key[1], key[2]))
+        if twin is None:
+            failures.append(f"{key}: no two-sided twin row to compare "
+                            f"against")
+            continue
+        pairs += 1
+        o = row.get("bytes_per_iter", 0.0)
+        t = twin.get("bytes_per_iter", 0.0)
+        if o > t * ONESIDED_SLACK:
+            failures.append(
+                f"{key}: bytes_per_iter {o:.1f} exceeds two-sided "
+                f"twin's {t:.1f}")
+        if row.get("one_sided_bytes_per_iter", 0.0) <= 0.0:
+            failures.append(
+                f"{key}: one_sided_bytes_per_iter is zero — the row "
+                f"did not actually ride the one-sided backend")
+    if pairs == 0:
+        failures.append("no one-sided twin pairs in the current run")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
@@ -234,11 +333,21 @@ def main():
                          "retried automatically for older releases)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the current run")
+    ap.add_argument("--dump", metavar="PATH",
+                    help="write the run's COMM_STATS_JSON rows to PATH "
+                         "(CI uploads this as an artifact on gate "
+                         "failure)")
     args = ap.parse_args()
 
     rows = sorted(parse_rows(run_bench(args.bench, args.min_time)),
                   key=key_of)
     current = {key_of(r): r for r in rows}
+
+    if args.dump:
+        dump = pathlib.Path(args.dump)
+        dump.parent.mkdir(parents=True, exist_ok=True)
+        dump.write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"dumped {len(rows)} rows to {dump}")
 
     if args.update:
         BASELINE.parent.mkdir(parents=True, exist_ok=True)
@@ -268,6 +377,8 @@ def main():
     failures += check_coalesce_contract(current)
     failures += check_engine_contract(current)
     failures += check_thread_contract(current)
+    failures += check_depth_contract(current)
+    failures += check_onesided_contract(current)
 
     if failures:
         print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
@@ -276,7 +387,8 @@ def main():
         sys.exit(1)
     print(f"comm baseline check passed: {len(baseline)} rows within "
           f"{args.tolerance:.0%}; hierarchical inter-node, coalesced "
-          f"commLP, engine-twin, and thread-twin contracts held")
+          f"commLP, engine-twin, thread-twin, pipeline-depth, and "
+          f"one-sided contracts held")
 
 
 if __name__ == "__main__":

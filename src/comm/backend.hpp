@@ -1,0 +1,26 @@
+// Transport backend selector for the comm layer.
+//
+// kTwoSided is the classic matched send/receive path: the Exchanger
+// posts destination-grouped payload through the substrate's
+// (nonblocking) alltoallv and receivers get pushed segments.
+//
+// kOneSided emulates RDMA verbs (RFP-style remote fetching): the
+// producer exposes its destination-grouped payload — plus its
+// per-destination counts as free registration metadata — in a
+// sim::Comm window, and every consumer win_get()s its own segments
+// from each peer's window, passively. Results are bit-identical to
+// kTwoSided by construction (the same records move, grouped the same
+// way); what changes is who pays: per-op get billing lands on the
+// consumer, and the producer's only obligations are the exposure and
+// the closing fence. The same value is required on all ranks and may
+// not change while an exchange is in flight.
+#pragma once
+
+namespace xtra::comm {
+
+enum class Backend {
+  kTwoSided,  ///< matched push via (nonblocking) alltoallv
+  kOneSided,  ///< exposed windows + consumer-side pulls
+};
+
+}  // namespace xtra::comm

@@ -41,11 +41,12 @@ class CoalescingExchanger {
  public:
   /// flush_bytes: pending-payload threshold (per rank) that triggers a
   /// collective flush; 0 means only explicit flush() ships anything.
-  /// max_send_bytes / policy configure the inner wire engine.
+  /// max_send_bytes / policy / backend configure the inner wire engine.
   explicit CoalescingExchanger(count_t flush_bytes,
                                count_t max_send_bytes = 0,
-                               ShardPolicy policy = ShardPolicy::kFlat)
-      : flush_bytes_(flush_bytes), ex_(max_send_bytes, policy) {}
+                               ShardPolicy policy = ShardPolicy::kFlat,
+                               Backend backend = Backend::kTwoSided)
+      : flush_bytes_(flush_bytes), ex_(max_send_bytes, policy, backend) {}
 
   /// Collective: stage one round's records (counts[r] per destination,
   /// destination-grouped in `send`) and agree whether to flush. When
@@ -122,6 +123,7 @@ class CoalescingExchanger {
 
   void set_max_send_bytes(count_t bytes) { ex_.set_max_send_bytes(bytes); }
   void set_shard_policy(ShardPolicy policy) { ex_.set_shard_policy(policy); }
+  void set_backend(Backend backend) { ex_.set_backend(backend); }
   const ExchangeStats& stats() const { return ex_.stats(); }
   void reset_stats() { ex_.reset_stats(); }
 

@@ -47,6 +47,7 @@ struct Exchanger::Hier {
   /// rolls the per-exchange delta into its own ExchangeStats.
   struct Sums {
     count_t bytes = 0, phases = 0, inter_b = 0, intra_b = 0, inter_m = 0;
+    count_t os_gets = 0, os_bytes = 0;
   };
   Sums sums() const {
     Sums s;
@@ -56,14 +57,17 @@ struct Exchanger::Hier {
       s.inter_b += e->stats_.inter_node_bytes;
       s.intra_b += e->stats_.intra_node_bytes;
       s.inter_m += e->stats_.inter_node_msgs;
+      s.os_gets += e->stats_.one_sided_gets;
+      s.os_bytes += e->stats_.one_sided_bytes;
     }
     return s;
   }
   Sums base;  ///< snapshot taken at start_hier
 };
 
-Exchanger::Exchanger(count_t max_send_bytes, ShardPolicy policy)
-    : max_send_bytes_(max_send_bytes), policy_(policy) {}
+Exchanger::Exchanger(count_t max_send_bytes, ShardPolicy policy,
+                     Backend backend)
+    : max_send_bytes_(max_send_bytes), policy_(policy), backend_(backend) {}
 Exchanger::~Exchanger() = default;
 Exchanger::Exchanger(Exchanger&&) noexcept = default;
 Exchanger& Exchanger::operator=(Exchanger&&) noexcept = default;
@@ -117,11 +121,6 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
   const int nranks = comm.size();
   const int me = comm.rank();
 
-  for (int r = 0; r < nranks; ++r)
-    if (r != me)
-      stats_.bytes_sent +=
-          counts[static_cast<std::size_t>(r)] * static_cast<count_t>(elem);
-
   // Stage the in-flight state. A snapshotting start() releases the
   // caller's buffer here; start_inplace() and the blocking exchange()
   // alias it instead (their buffers stay valid until the finish half).
@@ -145,6 +144,21 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
   } else {
     pending_.wire_ = send;
   }
+
+  if (backend_ == Backend::kOneSided) {
+    // Pull mode: no sender-side wire billing (consumers pay per get)
+    // and no phase agreement (the pull is receiver-paced).
+    start_onesided(comm, elem);
+    const double sec1 = t.seconds();
+    stats_.seconds += sec1;
+    stats_.start_seconds += sec1;
+    return;
+  }
+
+  for (int r = 0; r < nranks; ++r)
+    if (r != me)
+      stats_.bytes_sent +=
+          counts[static_cast<std::size_t>(r)] * static_cast<count_t>(elem);
 
   // Agree on a global phase count. Unbounded mode skips the allreduce:
   // all ranks constructed with max_send_bytes == 0 know the answer.
@@ -177,12 +191,18 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
   }
   pending_.phase_ = 0;
   pending_.active_ = true;
+  // Every started exchange rides its own substrate channel, so several
+  // Exchangers (pipeline lanes, aux exchanges) may be in flight at
+  // once. The scan is rank-uniform — collective ordering keeps the
+  // in-flight channel sets identical on every rank.
+  pending_.channel_ = comm.find_free_channel();
 
   if (pending_.nphases_ == 1) {
     // Single-phase: post the whole payload; arrival counts and the
     // receive buffer are handled by the finish half.
     account_phase(comm, pending_.counts_, elem);
-    (void)comm.alltoallv_bytes_start(pending_.wire_, elem, pending_.counts_);
+    (void)comm.alltoallv_bytes_start(pending_.wire_, elem, pending_.counts_,
+                                     pending_.channel_);
   } else {
     // Phased mode: learn the final per-source totals up front (one
     // small alltoall), so every phase's arrivals land directly in
@@ -199,7 +219,8 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
     const count_t hi = std::min(pending_.max_records_, total);
     window_counts(pending_.offsets_, 0, hi, phase_counts_);
     account_phase(comm, phase_counts_, elem);
-    (void)comm.alltoallv_bytes_start(pending_.wire_, elem, phase_counts_);
+    (void)comm.alltoallv_bytes_start(pending_.wire_, elem, phase_counts_,
+                                     pending_.channel_);
   }
   const double sec = t.seconds();
   stats_.seconds += sec;
@@ -234,6 +255,13 @@ bool Exchanger::drain_step_bytes(sim::Comm& comm) {
     note_full_result_segments();
     return false;
   }
+  if (onesided_inflight_) {
+    // One-sided: pull every segment and close the epoch — a single
+    // drain step, like the hierarchical path.
+    finish_onesided(comm);
+    note_full_result_segments();
+    return false;
+  }
   Timer t;
   const int nranks = comm.size();
   const std::size_t elem = pending_.elem_;
@@ -244,14 +272,16 @@ bool Exchanger::drain_step_bytes(sim::Comm& comm) {
     // All-empty exchange: nothing was posted; the (empty) result was
     // installed by the start half.
   } else if (pending_.nphases_ == 1) {
-    recv_total_ = comm.alltoallv_bytes_finish(recv_bytes_, &rcounts_);
+    recv_total_ =
+        comm.alltoallv_bytes_finish(recv_bytes_, &rcounts_, pending_.channel_);
     ++stats_.phases;
     note_full_result_segments();
   } else {
     // Drain phase p, immediately post phase p+1 so it is in flight
     // while p's arrivals are scattered into their final positions.
     const count_t total = pending_.total_;
-    (void)comm.alltoallv_bytes_finish(phase_bytes_, &phase_rcounts_);
+    (void)comm.alltoallv_bytes_finish(phase_bytes_, &phase_rcounts_,
+                                      pending_.channel_);
     ++stats_.phases;
     ++pending_.phase_;
     if (pending_.phase_ < pending_.nphases_) {
@@ -260,9 +290,11 @@ bool Exchanger::drain_step_bytes(sim::Comm& comm) {
       const count_t hi = std::min(lo + pending_.max_records_, total);
       window_counts(pending_.offsets_, lo, hi, phase_counts_);
       account_phase(comm, phase_counts_, elem);
+      // Successor phases reuse the exchange's channel — it freed the
+      // instant the previous phase finished, within this same call.
       (void)comm.alltoallv_bytes_start(
           pending_.wire_ + static_cast<std::size_t>(lo) * elem, elem,
-          phase_counts_);
+          phase_counts_, pending_.channel_);
       more = true;
     }
     // Arrivals from source s across phases, concatenated in phase
@@ -300,6 +332,83 @@ bool Exchanger::drain_step_bytes(sim::Comm& comm) {
   stats_.seconds += sec;
   stats_.finish_seconds += sec;
   return more;
+}
+
+// ---------------------------------------------------------------------------
+// One-sided transport: the start half exposes the staged
+// destination-grouped payload in a substrate window, registering the
+// per-destination counts as free metadata; the drain half pulls each
+// per-source segment passively with win_get and closes the epoch.
+// Bit-identity with the two-sided path is by construction — the same
+// records are fetched from the same layout the push would have sent —
+// and billing moves to the consumer: per-get wire bytes on the
+// substrate side, the one_sided_* ledger here.
+
+void Exchanger::start_onesided(sim::Comm& comm, std::size_t elem) {
+  pending_.nphases_ = 1;  // the pull completes in one drain step
+  pending_.phase_ = 0;
+  pending_.max_records_ = std::max<count_t>(pending_.total_, 1);
+  pending_.win_ = comm.find_free_window();
+  pending_.active_ = true;
+  onesided_inflight_ = true;
+  // The exposure is read-only by protocol: peers pull with win_get and
+  // never put, so exposing the (const) staged payload is sound.
+  comm.win_expose(
+      const_cast<std::byte*>(pending_.wire_),
+      static_cast<std::size_t>(pending_.total_) * elem,
+      pending_.counts_.data(), pending_.win_);
+}
+
+void Exchanger::finish_onesided(sim::Comm& comm) {
+  Timer t;
+  const int P = comm.size();
+  const int me = comm.rank();
+  const std::size_t elem = pending_.elem_;
+  const int win = pending_.win_;
+
+  // Arrival counts come from every producer's registered metadata —
+  // rank s's per-destination counts row — exactly what the two-sided
+  // path learns from the substrate's count publication.
+  rcounts_.resize(static_cast<std::size_t>(P));
+  recv_total_ = 0;
+  for (int s = 0; s < P; ++s) {
+    const count_t c = comm.win_meta(s, win)[me];
+    rcounts_[static_cast<std::size_t>(s)] = c;
+    recv_total_ += c;
+  }
+  recv_bytes_.resize(static_cast<std::size_t>(recv_total_) * elem);
+  std::size_t out = 0;
+  for (int s = 0; s < P; ++s) {
+    const count_t c = rcounts_[static_cast<std::size_t>(s)];
+    if (c == 0) continue;
+    // Our segment starts after every lower-ranked destination's run in
+    // s's destination-grouped exposure.
+    const count_t* meta = comm.win_meta(s, win);
+    count_t offset = 0;
+    for (int q = 0; q < me; ++q) offset += meta[q];
+    const std::size_t len = static_cast<std::size_t>(c) * elem;
+    comm.win_get(win, s, static_cast<std::size_t>(offset) * elem, len,
+                 recv_bytes_.data() + out);
+    ++stats_.one_sided_gets;
+    if (s != me) {
+      const count_t b = c * static_cast<count_t>(elem);
+      stats_.one_sided_bytes += b;
+      stats_.bytes_sent += b;  // consumer-side wire billing
+    }
+    out += len;
+  }
+  // Topology split from the consumer's perspective: a pulled segment
+  // crosses nodes exactly when the pushed one would have.
+  account_phase(comm, rcounts_, elem);
+  ++stats_.phases;
+  comm.win_unexpose(win);
+
+  pending_.active_ = false;
+  pending_.wire_ = nullptr;
+  onesided_inflight_ = false;
+  const double sec = t.seconds();
+  stats_.seconds += sec;
+  stats_.finish_seconds += sec;
 }
 
 // ---------------------------------------------------------------------------
@@ -402,6 +511,7 @@ void Exchanger::start_hier(sim::Comm& comm, const std::byte* send,
   }
 
   h.gather.max_send_bytes_ = max_send_bytes_;
+  h.gather.backend_ = backend_;
   h.gather.start_bytes(comm, h.r1_send.data(), elem, h.r1_counts,
                        StartMode::kAlias);
   const double sec = t.seconds();
@@ -481,6 +591,7 @@ void Exchanger::finish_hier(sim::Comm& comm) {
         h.r2_send.clear();
       }
       h.leaders.max_send_bytes_ = max_send_bytes_;
+      h.leaders.backend_ = backend_;
       h.leaders.start_bytes(comm, h.r2_send.data(), elem, h.r2_counts,
                             StartMode::kBlocking);
       h.leaders.finish_bytes(comm);
@@ -532,6 +643,7 @@ void Exchanger::finish_hier(sim::Comm& comm) {
         h.r3_send.clear();
       }
       h.scatter.max_send_bytes_ = max_send_bytes_;
+      h.scatter.backend_ = backend_;
       h.scatter.start_bytes(comm, h.r3_send.data(), elem, h.r3_counts,
                             StartMode::kBlocking);
       h.scatter.finish_bytes(comm);
@@ -576,6 +688,8 @@ void Exchanger::finish_hier(sim::Comm& comm) {
   stats_.inter_node_bytes += now.inter_b - h.base.inter_b;
   stats_.intra_node_bytes += now.intra_b - h.base.intra_b;
   stats_.inter_node_msgs += now.inter_m - h.base.inter_m;
+  stats_.one_sided_gets += now.os_gets - h.base.os_gets;
+  stats_.one_sided_bytes += now.os_bytes - h.base.os_bytes;
 
   pending_.active_ = false;
   pending_.wire_ = nullptr;

@@ -22,8 +22,20 @@
 // payload snapshot — its caller's buffer is valid throughout), so both
 // paths share one implementation and produce byte-identical results
 // and identical wire accounting. Between start() and finish() any
-// blocking collectives may run, but only one exchange may be in flight
-// per rank (enforced by the substrate).
+// blocking collectives may run, and other Exchangers may start, drain,
+// and finish their own exchanges: each started exchange acquires its
+// own substrate channel (up to sim::kMaxChannels in flight per rank).
+//
+// Two transport backends (comm/backend.hpp) produce bit-identical
+// results: the default kTwoSided pushes payload through the
+// substrate's nonblocking alltoallv; kOneSided exposes the
+// destination-grouped payload in a one-sided window (counts travel as
+// registration metadata) and consumers win_get their segments
+// passively — the pull happens in the drain half, so start/compute/
+// drain overlap works unchanged, and the whole pull completes in one
+// drain step (like the hierarchical path). One-sided mode is
+// receiver-paced, so max_send_bytes does not split it into wire
+// phases.
 //
 // The finish half can also be driven incrementally: drain_one()
 // completes one phase at a time and hands each phase's arrivals to a
@@ -64,6 +76,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "comm/backend.hpp"
 #include "comm/dest_buckets.hpp"
 #include "comm/shard_policy.hpp"
 #include "mpisim/comm.hpp"
@@ -108,6 +121,36 @@ struct ExchangeStats {
   count_t drained_incrementally = 0;  ///< exchanges consumed phase by phase
   count_t pipeline_carried = 0;       ///< refreshes carried across supersteps
   count_t max_pipeline_depth = 0;     ///< deepest superstep carry observed
+
+  // One-sided (Backend::kOneSided) per-op ledger: pulls this Exchanger
+  // issued against peers' exposed windows, and the remote payload they
+  // fetched (self-target pulls are free, matching the substrate).
+  count_t one_sided_gets = 0;
+  count_t one_sided_bytes = 0;
+
+  /// Fold another ledger into this one: counters and times add, peak
+  /// fields take the max. Used by HaloPlan's lane aggregation and the
+  /// engine's per-run rollup.
+  void merge_from(const ExchangeStats& from) {
+    exchanges += from.exchanges;
+    phases += from.phases;
+    records_sent += from.records_sent;
+    bytes_sent += from.bytes_sent;
+    seconds += from.seconds;
+    inter_node_bytes += from.inter_node_bytes;
+    intra_node_bytes += from.intra_node_bytes;
+    inter_node_msgs += from.inter_node_msgs;
+    coalesced_flushes += from.coalesced_flushes;
+    overlapped += from.overlapped;
+    max_inflight_bytes = std::max(max_inflight_bytes, from.max_inflight_bytes);
+    start_seconds += from.start_seconds;
+    finish_seconds += from.finish_seconds;
+    drained_incrementally += from.drained_incrementally;
+    pipeline_carried += from.pipeline_carried;
+    max_pipeline_depth = std::max(max_pipeline_depth, from.max_pipeline_depth);
+    one_sided_gets += from.one_sided_gets;
+    one_sided_bytes += from.one_sided_bytes;
+  }
 };
 
 /// In-flight state of one started exchange. Owned by the Exchanger;
@@ -135,6 +178,8 @@ class AsyncExchange {
   count_t max_records_ = 0;          ///< per-phase record cap
   count_t nphases_ = 0;              ///< agreed global phase count
   count_t phase_ = 0;                ///< phase currently in flight
+  int channel_ = 0;                  ///< substrate channel (two-sided)
+  int win_ = 0;                      ///< substrate window (one-sided)
   bool active_ = false;
   bool counted_incremental_ = false;  ///< drained_incrementally billed
 };
@@ -147,7 +192,8 @@ class Exchanger {
   /// clamps to sizeof(T), never to a zero-progress phase plan). Same
   /// value required on all ranks.
   explicit Exchanger(count_t max_send_bytes = 0,
-                     ShardPolicy policy = ShardPolicy::kFlat);
+                     ShardPolicy policy = ShardPolicy::kFlat,
+                     Backend backend = Backend::kTwoSided);
   ~Exchanger();
   Exchanger(Exchanger&&) noexcept;
   Exchanger& operator=(Exchanger&&) noexcept;
@@ -162,6 +208,15 @@ class Exchanger {
     XTRA_ASSERT_MSG(!pending_.active(),
                     "cannot change shard policy mid-exchange");
     policy_ = policy;
+  }
+
+  Backend backend() const { return backend_; }
+  /// Switch transport backend; results are bit-identical either way.
+  /// Same value required on all ranks; may not change mid-flight.
+  void set_backend(Backend backend) {
+    XTRA_ASSERT_MSG(!pending_.active(),
+                    "cannot change transport backend mid-exchange");
+    backend_ = backend;
   }
 
   /// Exchange `counts[r]` records per destination rank r, laid out
@@ -376,10 +431,19 @@ class Exchanger {
   // sub-exchanges — intra-node gather, leader alltoallv, intra-node
   // scatter — reassembled into the same grouped-by-source result.
   // All payload modes behave alike here: the round-1 staging copy
-  // releases the caller's buffer during start regardless.
+  // releases the caller's buffer during start regardless. The rounds
+  // inherit the parent's transport backend, so hierarchical routing
+  // composes with one-sided pulls.
   void start_hier(sim::Comm& comm, const std::byte* send, std::size_t elem,
                   const std::vector<count_t>& counts, count_t total);
   void finish_hier(sim::Comm& comm);
+
+  // One-sided halves (backend == kOneSided, flat routing): start
+  // exposes the staged payload + counts metadata in a window; the
+  // drain pulls every per-source segment with win_get and closes the
+  // epoch. Single drain step, like the hierarchical path.
+  void start_onesided(sim::Comm& comm, std::size_t elem);
+  void finish_onesided(sim::Comm& comm);
 
   /// Topology ledger for one posted phase: splits the payload into
   /// inter-/intra-node bytes and counts inter-node segments.
@@ -388,9 +452,11 @@ class Exchanger {
 
   count_t max_send_bytes_ = 0;
   ShardPolicy policy_ = ShardPolicy::kFlat;
+  Backend backend_ = Backend::kTwoSided;
   ExchangeStats stats_;
   AsyncExchange pending_;  ///< in-flight state between start and finish
   bool hier_inflight_ = false;  ///< pending exchange uses the hier path
+  bool onesided_inflight_ = false;  ///< pending exchange is an exposed window
 
   // Wire-side scratch, reused across calls.
   std::vector<std::byte> recv_bytes_;   ///< final grouped-by-source result

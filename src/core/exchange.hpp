@@ -60,6 +60,7 @@ class UpdateExchanger {
   void set_shard_policy(comm::ShardPolicy policy) {
     ex_.set_shard_policy(policy);
   }
+  void set_backend(comm::Backend backend) { ex_.set_backend(backend); }
   const comm::ExchangeStats& stats() const { return ex_.stats(); }
   void reset_stats() { ex_.reset_stats(); }
 

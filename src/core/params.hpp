@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/backend.hpp"
 #include "comm/shard_policy.hpp"
 #include "util/types.hpp"
 
@@ -59,13 +60,19 @@ struct Params {
   /// fewer inter-node messages. Same value required on every rank.
   comm::ShardPolicy shard_policy = comm::ShardPolicy::kFlat;
 
+  /// Transport of the ghost-update exchange: two-sided matched sends
+  /// (the default), or one-sided exposure windows the consumers pull
+  /// from (the RMA/remote-fetch style). Results are bit-identical;
+  /// same value required on every rank.
+  comm::Backend backend = comm::Backend::kTwoSided;
+
   /// Supersteps a pipelined ghost refresh may stay in flight in the
   /// kernels built on graph::SuperstepPipeline (the analytics runs the
   /// benches drive alongside partitioning). 0 drains within the
-  /// superstep — bit-identical to the blocking path; >= 1 carries the
-  /// refresh into the next superstep for stale-ghost-tolerant kernels
-  /// (PageRank, k-core). The substrate's one-in-flight contract caps
-  /// the effective depth at 1.
+  /// superstep — bit-identical to the blocking path; d >= 1 carries up
+  /// to d refreshes across superstep boundaries for
+  /// stale-ghost-tolerant kernels (PageRank, k-core), clamped to
+  /// graph::kMaxPipelineDepth.
   int pipeline_depth = 0;
 
   /// Coalescing cadence for the engine-run analytics' sparse ghost

@@ -56,6 +56,7 @@ PartitionResult partition(sim::Comm& comm, const graph::DistGraph& g,
   st.nprocs = comm.size();
   st.exchanger.set_max_send_bytes(params.max_exchange_bytes);
   st.exchanger.set_shard_policy(params.shard_policy);
+  st.exchanger.set_backend(params.backend);
   st.x = params.mult_x;
   st.y = params.mult_y;
   st.i_tot = std::max(params.outer_iters *

@@ -12,6 +12,7 @@
 
 #include <limits>
 
+#include "comm/backend.hpp"
 #include "comm/shard_policy.hpp"
 #include "core/params.hpp"
 #include "util/types.hpp"
@@ -25,6 +26,12 @@ struct Config {
   /// way. Same value required on every rank.
   comm::ShardPolicy shard_policy = comm::ShardPolicy::kFlat;
 
+  /// Transport of every exchange the engine issues: two-sided matched
+  /// sends (the default), or one-sided exposure windows the consumers
+  /// pull from (the RMA/remote-fetch style). Results are bit-identical
+  /// either way. Same value required on every rank.
+  comm::Backend backend = comm::Backend::kTwoSided;
+
   /// Per-phase send-payload cap (chunk size) for the engine's
   /// exchanges, in bytes; 0 = unbounded single alltoallv. Results are
   /// bit-identical for any value. Same value on every rank.
@@ -32,10 +39,10 @@ struct Config {
 
   /// Supersteps a dense program's ghost refresh may stay in flight
   /// (graph::SuperstepPipeline). 0 drains in-step — bit-identical to
-  /// the blocking exchange; >= 1 carries the refresh into the next
-  /// superstep, so updates may read ghosts up to one superstep stale.
-  /// Only meaningful for dense programs; the substrate's one-in-flight
-  /// rule caps the effective depth at 1.
+  /// the blocking exchange; d >= 1 keeps up to d refreshes in flight
+  /// across superstep boundaries (clamped to graph::kMaxPipelineDepth),
+  /// so updates may read ghosts up to d supersteps stale. Only
+  /// meaningful for dense programs.
   int pipeline_depth = 0;
 
   /// > 0 switches a change-converging dense program's ghost refresh
@@ -72,6 +79,7 @@ struct Config {
   static Config from_params(const core::Params& p) {
     Config cfg;
     cfg.shard_policy = p.shard_policy;
+    cfg.backend = p.backend;
     cfg.max_exchange_bytes = p.max_exchange_bytes;
     cfg.pipeline_depth = p.pipeline_depth;
     cfg.coalesce_every = p.coalesce_every;

@@ -183,7 +183,7 @@ struct DenseContext {
   comm::Exchanger& aux() {
     if (!aux_) {
       aux_ = std::make_unique<comm::Exchanger>(cfg.max_exchange_bytes,
-                                               cfg.shard_policy);
+                                               cfg.shard_policy, cfg.backend);
     }
     return *aux_;
   }
@@ -305,7 +305,8 @@ void run_dense_coalesced(sim::Comm& comm, const graph::DistGraph& g, P& p,
                 "the coalesced refresh requires a change-converging "
                 "program (deferred deliveries need a quiesce)");
   graph::HaloPlan& halo = *ctx.halo_;
-  comm::CoalescingExchanger co(0, cfg.max_exchange_bytes, cfg.shard_policy);
+  comm::CoalescingExchanger co(0, cfg.max_exchange_bytes, cfg.shard_policy,
+                               cfg.backend);
   const std::vector<count_t>& scounts = halo.send_counts();
   const std::vector<lid_t>& slids = halo.send_lids();
   // Last value shipped per (destination, owned lid) slot. The
@@ -423,7 +424,8 @@ Stats run_dense(sim::Comm& comm, const graph::DistGraph& g, P& p,
   DenseContext<P> ctx{comm, g, cfg};
   std::unique_ptr<graph::HaloPlan> halo;
   if constexpr (detail::exchanges_values<P>()) {
-    halo = std::make_unique<graph::HaloPlan>(comm, g, cfg.shard_policy);
+    halo = std::make_unique<graph::HaloPlan>(comm, g, cfg.shard_policy,
+                                             cfg.backend);
     halo->set_max_send_bytes(cfg.max_exchange_bytes);
     ctx.halo_ = halo.get();
   }

@@ -82,7 +82,8 @@ Stats run_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
 
   FrontierContext<P> ctx{comm, g, cfg};
   graph::FrontierStepper<typename P::Notify> stepper(cfg.max_exchange_bytes,
-                                                     cfg.shard_policy);
+                                                     cfg.shard_policy,
+                                                     cfg.backend);
   p.init(ctx);
 
   const count_t limit = detail::superstep_limit(cfg);

@@ -6,24 +6,7 @@
 namespace xtra::engine {
 
 void merge(comm::ExchangeStats& into, const comm::ExchangeStats& from) {
-  into.exchanges += from.exchanges;
-  into.phases += from.phases;
-  into.records_sent += from.records_sent;
-  into.bytes_sent += from.bytes_sent;
-  into.seconds += from.seconds;
-  into.inter_node_bytes += from.inter_node_bytes;
-  into.intra_node_bytes += from.intra_node_bytes;
-  into.inter_node_msgs += from.inter_node_msgs;
-  into.coalesced_flushes += from.coalesced_flushes;
-  into.overlapped += from.overlapped;
-  into.max_inflight_bytes =
-      std::max(into.max_inflight_bytes, from.max_inflight_bytes);
-  into.start_seconds += from.start_seconds;
-  into.finish_seconds += from.finish_seconds;
-  into.drained_incrementally += from.drained_incrementally;
-  into.pipeline_carried += from.pipeline_carried;
-  into.max_pipeline_depth =
-      std::max(into.max_pipeline_depth, from.max_pipeline_depth);
+  into.merge_from(from);
 }
 
 std::string Stats::to_json() const {
@@ -37,7 +20,8 @@ std::string Stats::to_json() const {
       "\"intra_node_bytes\": %lld, \"inter_node_msgs\": %lld, "
       "\"coalesced_flushes\": %lld, \"overlapped\": %lld, "
       "\"max_inflight_bytes\": %lld, \"drained_incrementally\": %lld, "
-      "\"pipeline_carried\": %lld, \"max_pipeline_depth\": %lld}",
+      "\"pipeline_carried\": %lld, \"max_pipeline_depth\": %lld, "
+      "\"one_sided_gets\": %lld, \"one_sided_bytes\": %lld}",
       seconds, static_cast<long long>(comm_bytes),
       static_cast<long long>(supersteps), num_threads,
       static_cast<long long>(exchange.exchanges),
@@ -52,7 +36,9 @@ std::string Stats::to_json() const {
       static_cast<long long>(exchange.max_inflight_bytes),
       static_cast<long long>(exchange.drained_incrementally),
       static_cast<long long>(exchange.pipeline_carried),
-      static_cast<long long>(exchange.max_pipeline_depth));
+      static_cast<long long>(exchange.max_pipeline_depth),
+      static_cast<long long>(exchange.one_sided_gets),
+      static_cast<long long>(exchange.one_sided_bytes));
   return buf;
 }
 

@@ -65,8 +65,9 @@ template <typename Notify>
 class FrontierStepper {
  public:
   explicit FrontierStepper(count_t max_send_bytes = 0,
-                           comm::ShardPolicy policy = comm::ShardPolicy::kFlat)
-      : ex_(max_send_bytes, policy) {}
+                           comm::ShardPolicy policy = comm::ShardPolicy::kFlat,
+                           comm::Backend backend = comm::Backend::kTwoSided)
+      : ex_(max_send_bytes, policy, backend) {}
 
   template <typename Nbrs, typename Improves, typename Relax,
             typename MakeNotify, typename Receive>

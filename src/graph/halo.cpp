@@ -8,8 +8,11 @@
 namespace xtra::graph {
 
 HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g,
-                   comm::ShardPolicy policy) {
-  ex_.set_shard_policy(policy);
+                   comm::ShardPolicy policy, comm::Backend backend) {
+  policy_ = policy;
+  backend_ = backend;
+  add_lane();  // lane 0 — the ring grows on demand (set_pipeline_lanes)
+  comm::Exchanger& ex = lanes_.front()->ex;
   // Ghosts register with their owners: send each ghost gid to its
   // owner; arrival order on the owner defines the send order, and the
   // order we sent defines our receive order. The exchange preserves
@@ -25,7 +28,7 @@ HaloPlan::HaloPlan(sim::Comm& comm, const DistGraph& g,
     recv_lids_[static_cast<std::size_t>(slot)] = v;
   }
   const std::span<const gid_t> registrations =
-      ex_.exchange(comm, buckets, &send_counts_);
+      ex.exchange(comm, buckets, &send_counts_);
   send_lids_.resize(registrations.size());
   for (std::size_t i = 0; i < registrations.size(); ++i) {
     const lid_t l = g.lid_of(registrations[i]);

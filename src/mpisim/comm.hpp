@@ -16,22 +16,43 @@
 //   gatherv, allgatherv, scan-free reductions of scalars;
 // plus a nonblocking alltoallv pair (alltoallv_bytes_start/finish,
 // the MPI_Ialltoallv/MPI_Wait shape) so callers can overlap local
-// compute with an in-flight exchange. Blocking collectives may run
-// between the two halves; at most one exchange is in flight per rank.
+// compute with an in-flight exchange. Each rank owns kMaxChannels
+// tagged channels (the MPI tag/request analog): up to kMaxChannels
+// exchanges may be in flight per rank concurrently, one per channel,
+// and blocking collectives may run between any start and its finish —
+// they use separate publication slots. Channel ids are collective
+// state: every rank must start/finish a matching exchange on the same
+// channel, and interleave starts, finishes, and other collectives in
+// the same order (find_free_channel() is deterministic for exactly
+// this reason).
+//
+// A second, one-sided surface emulates RDMA verbs: win_expose posts a
+// region of rank memory for passive-target win_get/win_put by peers,
+// win_fence separates access epochs, win_unexpose closes the window.
+// Puts and gets are NOT collectives — they bill per-op to the origin
+// rank, the target does not participate.
 //
 // Every collective accounts the bytes a real MPI rank would put on the
 // wire (self-destined data is free), so benches can report
 // communication volume — the architecture-independent component of the
-// paper's timing results.
+// paper's timing results. Payload-bearing calls additionally bill
+// `exposed_seconds`: an alpha-beta *modeled* transfer time, minus (for
+// the split nonblocking pair) the wall time the caller spent elsewhere
+// between start and finish. It answers "how much modeled wire time was
+// NOT hidden behind compute" — the metric the pipeline-depth CI
+// contract gates — without ever sleeping. Control collectives
+// (allreduce/bcast/gather/counts) are exposure-free by convention.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <barrier>
 #include <cstddef>
 #include <cstring>
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -52,7 +73,37 @@ struct CommStats {
   count_t messages_sent = 0;   ///< point-to-point segments with data
   count_t collectives = 0;     ///< collective invocations
   double comm_seconds = 0.0;   ///< wall time inside collectives
+  /// Modeled wire time not hidden behind compute (alpha-beta model;
+  /// see the header comment). Deterministically zero-noise it is not —
+  /// the overlap credit is wall clock — but it is monotone in overlap,
+  /// which is all the depth contract needs.
+  double exposed_seconds = 0.0;
+  count_t one_sided_gets = 0;   ///< win_get ops issued by this rank
+  count_t one_sided_puts = 0;   ///< win_put ops issued by this rank
+  count_t one_sided_bytes = 0;  ///< get/put payload bytes (self free)
 };
+
+/// Tagged in-flight channels per rank: up to this many nonblocking
+/// alltoallvs may be pending concurrently on one rank.
+inline constexpr int kMaxChannels = 8;
+/// Concurrent one-sided exposure windows per rank.
+inline constexpr int kMaxWindows = 4;
+
+/// Alpha-beta wire model behind CommStats::exposed_seconds. The modeled
+/// link is deliberately slow (1 MB/s, 2 ms startup) so that on the
+/// micro-bench graphs modeled wire time dwarfs per-superstep compute:
+/// exposure then degrades gracefully with overlap instead of
+/// saturating at zero, which is what lets the CI depth contract
+/// (d2 strictly below d1) hold robustly. Nothing ever sleeps on this
+/// model; it is bookkeeping only.
+inline constexpr double kModelAlphaSeconds = 2e-3;
+inline constexpr double kModelBytesPerSecond = 1e6;
+inline constexpr double modeled_wire_seconds(count_t wire_bytes) {
+  return wire_bytes == 0
+             ? 0.0
+             : kModelAlphaSeconds +
+                   static_cast<double>(wire_bytes) / kModelBytesPerSecond;
+}
 
 namespace detail {
 
@@ -66,8 +117,9 @@ class WorldState {
         slots_(static_cast<std::size_t>(nranks)),
         aux_slots_(static_cast<std::size_t>(nranks)),
         size_slots_(static_cast<std::size_t>(nranks), 0),
-        async_slots_(static_cast<std::size_t>(nranks)),
-        async_aux_slots_(static_cast<std::size_t>(nranks)),
+        async_slots_(static_cast<std::size_t>(nranks) * kMaxChannels),
+        async_aux_slots_(static_cast<std::size_t>(nranks) * kMaxChannels),
+        win_slots_(static_cast<std::size_t>(nranks) * kMaxWindows),
         stats_(static_cast<std::size_t>(nranks)) {}
 
   int nranks() const { return nranks_; }
@@ -94,12 +146,32 @@ class WorldState {
   std::size_t& size_slot(int rank) {
     return size_slots_[static_cast<std::size_t>(rank)];
   }
-  const void*& async_slot(int rank) {
-    return async_slots_[static_cast<std::size_t>(rank)];
+  const void*& async_slot(int rank, int channel) {
+    return async_slots_[static_cast<std::size_t>(channel) *
+                            static_cast<std::size_t>(nranks_) +
+                        static_cast<std::size_t>(rank)];
   }
-  const void*& async_aux_slot(int rank) {
-    return async_aux_slots_[static_cast<std::size_t>(rank)];
+  const void*& async_aux_slot(int rank, int channel) {
+    return async_aux_slots_[static_cast<std::size_t>(channel) *
+                                static_cast<std::size_t>(nranks_) +
+                            static_cast<std::size_t>(rank)];
   }
+
+  /// One-sided exposure slot: base/extent of the region `rank` has
+  /// posted on window `win`, plus an optional free-of-charge metadata
+  /// pointer (typically per-destination counts — the registration-time
+  /// descriptor a real RDMA rendezvous would carry).
+  struct WinSlot {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    const count_t* meta = nullptr;
+  };
+  WinSlot& win_slot(int rank, int win) {
+    return win_slots_[static_cast<std::size_t>(win) *
+                          static_cast<std::size_t>(nranks_) +
+                      static_cast<std::size_t>(rank)];
+  }
+
   CommStats& stats(int rank) { return stats_[static_cast<std::size_t>(rank)]; }
 
  private:
@@ -112,11 +184,14 @@ class WorldState {
   std::vector<const void*> slots_;
   std::vector<const void*> aux_slots_;
   std::vector<std::size_t> size_slots_;
-  // Dedicated slots for the one in-flight nonblocking alltoallv per
-  // rank: a pending alltoallv_bytes_start stays published across any
-  // interleaved blocking collectives (which use the slots above).
+  // Dedicated per-(channel, rank) slots for in-flight nonblocking
+  // alltoallvs: a pending alltoallv_bytes_start stays published across
+  // any interleaved blocking collectives (which use the slots above)
+  // and across starts/finishes on other channels.
   std::vector<const void*> async_slots_;
   std::vector<const void*> async_aux_slots_;
+  // Per-(window, rank) one-sided exposure slots.
+  std::vector<WinSlot> win_slots_;
   std::vector<CommStats> stats_;
 };
 
@@ -270,6 +345,7 @@ class Comm {
           static_cast<const T*>(world_->slot(r))[rank_];
     world_->sync();
     note(static_cast<count_t>((size() - 1) * sizeof(T)), size() - 1, t);
+    note_blocking_exposure(static_cast<count_t>((size() - 1) * sizeof(T)));
     return recv;
   }
 
@@ -325,6 +401,9 @@ class Comm {
       }
     }
     note(bytes, msgs, t);
+    note_blocking_exposure(
+        (total - recvcounts[static_cast<std::size_t>(rank_)]) *
+        static_cast<count_t>(sizeof(T)));
     if (recvcounts_out) *recvcounts_out = std::move(recvcounts);
     return recv;
   }
@@ -384,23 +463,51 @@ class Comm {
       }
     }
     note(bytes, msgs, t);
+    note_blocking_exposure(
+        (total - recvcounts[static_cast<std::size_t>(rank_)]) *
+        static_cast<count_t>(elem_size));
     if (recvcounts_out) *recvcounts_out = std::move(recvcounts);
     return total;
   }
 
-  /// Nonblocking half of alltoallv_bytes (MPI_Ialltoallv post). Publishes
-  /// this rank's send buffer and per-destination counts, then returns the
-  /// number of elements that will arrive. `send` must stay valid and
-  /// unmodified until alltoallv_bytes_finish returns (the counts are
-  /// copied internally and need not). At most one exchange may be in
-  /// flight per rank, but any blocking collectives may run between start
-  /// and finish — they use separate publication slots. Collective: every
-  /// rank must interleave starts, finishes, and other collectives in the
-  /// same order.
+  static constexpr int max_channels() { return kMaxChannels; }
+  static constexpr int max_windows() { return kMaxWindows; }
+
+  /// Lowest channel with no exchange in flight on this rank. Because
+  /// channels are acquired and released only by collective calls, the
+  /// in-flight set is identical on every rank and the scan is
+  /// rank-uniform — callers may use the result as a collective channel
+  /// id without agreeing on it explicitly. Throws std::runtime_error
+  /// when all kMaxChannels channels are pending (channel exhaustion is
+  /// a caller bug worth a catchable diagnostic, not an abort).
+  int find_free_channel() const {
+    for (int c = 0; c < kMaxChannels; ++c)
+      if (!async_[static_cast<std::size_t>(c)].active) return c;
+    throw std::runtime_error(
+        "mpisim: all " + std::to_string(kMaxChannels) +
+        " nonblocking channels are in flight on this rank");
+  }
+
+  /// Nonblocking half of alltoallv_bytes (MPI_Ialltoallv post) on a
+  /// tagged channel. Publishes this rank's send buffer and
+  /// per-destination counts, then returns the number of elements that
+  /// will arrive. `send` must stay valid and unmodified until the
+  /// matching alltoallv_bytes_finish returns (the counts are copied
+  /// internally and need not). Up to kMaxChannels exchanges may be in
+  /// flight per rank, one per channel; blocking collectives may run
+  /// between any start and its finish — they use separate publication
+  /// slots. Collective: every rank must use the same channel for a
+  /// matching exchange and interleave starts, finishes, and other
+  /// collectives in the same order (finishes need not be in start
+  /// order). Throws std::runtime_error if `channel` is already busy.
   count_t alltoallv_bytes_start(const void* send, std::size_t elem_size,
-                                const std::vector<count_t>& sendcounts) {
-    XTRA_ASSERT_MSG(!async_active_,
-                    "only one nonblocking alltoallv may be in flight");
+                                const std::vector<count_t>& sendcounts,
+                                int channel = 0) {
+    XTRA_ASSERT(channel >= 0 && channel < kMaxChannels);
+    AsyncState& ch = async_[static_cast<std::size_t>(channel)];
+    if (ch.active)
+      throw std::runtime_error("mpisim: channel " + std::to_string(channel) +
+                               " already has an exchange in flight");
     XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
     Timer t;
 #ifndef NDEBUG
@@ -411,47 +518,58 @@ class Comm {
 #endif
     // Counts are published from rank-owned storage so the caller's
     // vector is free to be reused while the exchange is in flight.
-    async_counts_ = sendcounts;
-    async_elem_ = elem_size;
-    world_->async_slot(rank_) = send;
-    world_->async_aux_slot(rank_) = async_counts_.data();
+    ch.counts = sendcounts;
+    ch.elem = elem_size;
+    world_->async_slot(rank_, channel) = send;
+    world_->async_aux_slot(rank_, channel) = ch.counts.data();
     world_->sync();
     // Every rank has published; peers keep their slots untouched until
     // the finish barrier, so arrival counts are already knowable here.
-    async_recvcounts_.resize(static_cast<std::size_t>(size()));
-    async_total_ = 0;
+    ch.recvcounts.resize(static_cast<std::size_t>(size()));
+    ch.total = 0;
     for (int r = 0; r < size(); ++r) {
       const auto* counts =
-          static_cast<const count_t*>(world_->async_aux_slot(r));
-      async_recvcounts_[static_cast<std::size_t>(r)] = counts[rank_];
-      async_total_ += counts[rank_];
+          static_cast<const count_t*>(world_->async_aux_slot(r, channel));
+      ch.recvcounts[static_cast<std::size_t>(r)] = counts[rank_];
+      ch.total += counts[rank_];
     }
-    async_active_ = true;
-    async_seconds_ = t.seconds();
-    return async_total_;
+    ch.active = true;
+    ch.seconds = t.seconds();
+    // Exposure clock starts now: what does not finish arriving (on the
+    // modeled wire) before the finish call is exposed wait.
+    const count_t wire_in =
+        (ch.total - ch.recvcounts[static_cast<std::size_t>(rank_)]) *
+        static_cast<count_t>(elem_size);
+    ch.modeled = modeled_wire_seconds(wire_in);
+    ch.overlap.reset();
+    return ch.total;
   }
 
-  /// Blocking half (MPI_Wait): drains the pending exchange into `recv`
-  /// and releases the published buffers. Accounts the pair as a single
-  /// collective. Returns the number of elements received.
+  /// Blocking half (MPI_Wait): drains the exchange pending on `channel`
+  /// into `recv` and releases the published buffers. Accounts the pair
+  /// as a single collective. Returns the number of elements received.
   count_t alltoallv_bytes_finish(std::vector<std::byte>& recv,
                                  std::vector<count_t>* recvcounts_out =
-                                     nullptr) {
-    XTRA_ASSERT_MSG(async_active_,
+                                     nullptr,
+                                 int channel = 0) {
+    XTRA_ASSERT(channel >= 0 && channel < kMaxChannels);
+    AsyncState& ch = async_[static_cast<std::size_t>(channel)];
+    XTRA_ASSERT_MSG(ch.active,
                     "alltoallv_bytes_finish without a pending start");
     Timer t;
-    recv.resize(static_cast<std::size_t>(async_total_) * async_elem_);
+    recv.resize(static_cast<std::size_t>(ch.total) * ch.elem);
     std::size_t out = 0;
     for (int r = 0; r < size(); ++r) {
       const auto* counts =
-          static_cast<const count_t*>(world_->async_aux_slot(r));
+          static_cast<const count_t*>(world_->async_aux_slot(r, channel));
       if (counts[rank_] == 0) continue;
       count_t offset = 0;
       for (int q = 0; q < rank_; ++q) offset += counts[q];
-      const auto* src = static_cast<const std::byte*>(world_->async_slot(r)) +
-                        static_cast<std::size_t>(offset) * async_elem_;
+      const auto* src =
+          static_cast<const std::byte*>(world_->async_slot(r, channel)) +
+          static_cast<std::size_t>(offset) * ch.elem;
       const std::size_t len =
-          static_cast<std::size_t>(counts[rank_]) * async_elem_;
+          static_cast<std::size_t>(counts[rank_]) * ch.elem;
       std::memcpy(recv.data() + out, src, len);
       out += len;
     }
@@ -461,20 +579,138 @@ class Comm {
     count_t msgs = 0;
     for (int r = 0; r < size(); ++r) {
       if (r == rank_) continue;
-      if (async_counts_[static_cast<std::size_t>(r)] > 0) {
-        bytes += async_counts_[static_cast<std::size_t>(r)] *
-                 static_cast<count_t>(async_elem_);
+      if (ch.counts[static_cast<std::size_t>(r)] > 0) {
+        bytes += ch.counts[static_cast<std::size_t>(r)] *
+                 static_cast<count_t>(ch.elem);
         ++msgs;
       }
     }
-    note_seconds(bytes, msgs, async_seconds_ + t.seconds());
-    async_active_ = false;
-    if (recvcounts_out) *recvcounts_out = async_recvcounts_;
-    return async_total_;
+    note_seconds(bytes, msgs, ch.seconds + t.seconds());
+    world_->stats(rank_).exposed_seconds +=
+        std::max(0.0, ch.modeled - ch.overlap.seconds());
+    ch.active = false;
+    if (recvcounts_out) *recvcounts_out = ch.recvcounts;
+    return ch.total;
   }
 
-  /// Whether this rank has a started-but-unfinished alltoallv.
-  bool alltoallv_in_flight() const { return async_active_; }
+  /// Whether this rank has a started-but-unfinished alltoallv on
+  /// `channel`.
+  bool alltoallv_in_flight(int channel = 0) const {
+    XTRA_ASSERT(channel >= 0 && channel < kMaxChannels);
+    return async_[static_cast<std::size_t>(channel)].active;
+  }
+
+  /// Number of channels with a pending exchange on this rank.
+  int channels_in_flight() const {
+    int n = 0;
+    for (const AsyncState& ch : async_) n += ch.active ? 1 : 0;
+    return n;
+  }
+
+  // --- One-sided windows (RDMA emulation) ----------------------------
+  // Exposure epochs follow MPI_Win_fence semantics: win_expose opens an
+  // epoch (collective), win_fence separates epochs (collective), and
+  // win_unexpose closes the window (collective). Between fences, peers
+  // may win_get/win_put the exposed region passively — the target rank
+  // does not participate and per-op costs bill to the origin. The
+  // origin must not read bytes a peer may concurrently put, and the
+  // owner must not rewrite bytes a peer may concurrently get; the
+  // fences are the synchronization points, exactly as on hardware.
+
+  /// Lowest window not currently exposed by this rank; rank-uniform for
+  /// the same reason as find_free_channel. Throws on exhaustion.
+  int find_free_window() const {
+    for (int w = 0; w < kMaxWindows; ++w)
+      if (!win_active_[static_cast<std::size_t>(w)]) return w;
+    throw std::runtime_error("mpisim: all " + std::to_string(kMaxWindows) +
+                             " one-sided windows are exposed on this rank");
+  }
+
+  /// Collective: expose [base, base+bytes) for passive-target access on
+  /// window `win` until win_unexpose. `meta`, if non-null, must stay
+  /// valid for the window's lifetime; peers read it free of charge via
+  /// win_meta (the descriptor a real rendezvous registration carries —
+  /// the Exchanger publishes per-destination counts through it).
+  void win_expose(void* base, std::size_t bytes,
+                  const count_t* meta = nullptr, int win = 0) {
+    XTRA_ASSERT(win >= 0 && win < kMaxWindows);
+    if (win_active_[static_cast<std::size_t>(win)])
+      throw std::runtime_error("mpisim: window " + std::to_string(win) +
+                               " is already exposed");
+    XTRA_ASSERT_MSG(bytes == 0 || base != nullptr,
+                    "win_expose needs a base pointer when bytes > 0");
+    Timer t;
+    auto& slot = world_->win_slot(rank_, win);
+    slot.base = static_cast<std::byte*>(base);
+    slot.bytes = bytes;
+    slot.meta = meta;
+    world_->sync();
+    win_active_[static_cast<std::size_t>(win)] = true;
+    note(0, 0, t);
+  }
+
+  /// Whether this rank currently exposes window `win`.
+  bool win_exposed(int win = 0) const {
+    XTRA_ASSERT(win >= 0 && win < kMaxWindows);
+    return win_active_[static_cast<std::size_t>(win)];
+  }
+
+  /// Extent of the region `target` exposes on `win`.
+  std::size_t win_bytes(int target, int win = 0) const {
+    XTRA_ASSERT(win_active_[static_cast<std::size_t>(win)]);
+    return world_->win_slot(target, win).bytes;
+  }
+
+  /// Metadata pointer `target` registered with its exposure (may be
+  /// null). Reading it is free — it is part of the registration.
+  const count_t* win_meta(int target, int win = 0) const {
+    XTRA_ASSERT(win_active_[static_cast<std::size_t>(win)]);
+    return world_->win_slot(target, win).meta;
+  }
+
+  /// Passive-target read: copy `len` bytes at `offset` of `target`'s
+  /// exposed region into `dst`. Not a collective; bills to this rank
+  /// (self-target reads are free, as ever).
+  void win_get(int win, int target, std::size_t offset, std::size_t len,
+               void* dst) {
+    const auto& slot = checked_win_slot(target, win, offset, len);
+    std::memcpy(dst, slot.base + offset, len);
+    note_one_sided(target, len, /*is_put=*/false);
+  }
+
+  /// Passive-target write: copy `len` bytes from `src` into `target`'s
+  /// exposed region at `offset`. Not a collective; bills to this rank.
+  void win_put(int win, int target, std::size_t offset, std::size_t len,
+               const void* src) {
+    const auto& slot = checked_win_slot(target, win, offset, len);
+    std::memcpy(slot.base + offset, src, len);
+    note_one_sided(target, len, /*is_put=*/true);
+  }
+
+  /// Collective epoch separator: all puts/gets issued before the fence
+  /// complete before any rank's post-fence accesses (barrier
+  /// semantics = MPI_Win_fence).
+  void win_fence(int win = 0) {
+    XTRA_ASSERT(win_active_[static_cast<std::size_t>(win)]);
+    Timer t;
+    world_->sync();
+    note(0, 0, t);
+  }
+
+  /// Collective: close the exposure epoch and free the window slot.
+  /// The barrier guarantees every peer's accesses completed before the
+  /// region is invalidated, so the owner may free/reuse the memory on
+  /// return.
+  void win_unexpose(int win = 0) {
+    XTRA_ASSERT(win >= 0 && win < kMaxWindows);
+    XTRA_ASSERT_MSG(win_active_[static_cast<std::size_t>(win)],
+                    "win_unexpose without a matching win_expose");
+    Timer t;
+    world_->sync();
+    world_->win_slot(rank_, win) = detail::WorldState::WinSlot{};
+    win_active_[static_cast<std::size_t>(win)] = false;
+    note(0, 0, t);
+  }
 
   /// Gather variable-length contributions to `root` (others get {}).
   template <typename T>
@@ -538,14 +774,21 @@ class Comm {
   /// Collective; the benches' one-stop aggregate.
   CommStats world_stats() {
     const CommStats mine = stats();
-    std::vector<count_t> c{mine.bytes_sent, mine.messages_sent,
-                           mine.collectives};
+    std::vector<count_t> c{mine.bytes_sent,     mine.messages_sent,
+                           mine.collectives,    mine.one_sided_gets,
+                           mine.one_sided_puts, mine.one_sided_bytes};
     allreduce_sum(c);
+    std::vector<double> d{mine.comm_seconds, mine.exposed_seconds};
+    allreduce_sum(d);
     CommStats out;
     out.bytes_sent = c[0];
     out.messages_sent = c[1];
     out.collectives = c[2];
-    out.comm_seconds = allreduce_sum(mine.comm_seconds);
+    out.one_sided_gets = c[3];
+    out.one_sided_puts = c[4];
+    out.one_sided_bytes = c[5];
+    out.comm_seconds = d[0];
+    out.exposed_seconds = d[1];
     return out;
   }
 
@@ -562,16 +805,57 @@ class Comm {
     s.comm_seconds += seconds;
   }
 
+  /// Blocking payload collectives expose their full modeled transfer —
+  /// there is no compute to hide it behind.
+  void note_blocking_exposure(count_t wire_in_bytes) {
+    world_->stats(rank_).exposed_seconds +=
+        modeled_wire_seconds(wire_in_bytes);
+  }
+
+  const detail::WorldState::WinSlot& checked_win_slot(int target, int win,
+                                                      std::size_t offset,
+                                                      std::size_t len) const {
+    XTRA_ASSERT(win >= 0 && win < kMaxWindows);
+    XTRA_ASSERT_MSG(win_active_[static_cast<std::size_t>(win)],
+                    "one-sided access outside an exposure epoch");
+    const auto& slot = world_->win_slot(target, win);
+    XTRA_ASSERT_MSG(offset + len <= slot.bytes,
+                    "one-sided access past the exposed region");
+    return slot;
+  }
+
+  /// Per-op one-sided billing: gets/puts are point-to-point segments,
+  /// not collectives; self-target traffic is free, and remote payload
+  /// exposes its beta cost (the alpha is absorbed by the epoch's
+  /// collective fences, as on a doorbell-batched RDMA engine).
+  void note_one_sided(int target, std::size_t len, bool is_put) {
+    CommStats& s = world_->stats(rank_);
+    (is_put ? s.one_sided_puts : s.one_sided_gets) += 1;
+    if (target == rank_ || len == 0) return;
+    s.one_sided_bytes += static_cast<count_t>(len);
+    s.bytes_sent += static_cast<count_t>(len);
+    s.messages_sent += 1;
+    s.exposed_seconds += static_cast<double>(len) / kModelBytesPerSecond;
+  }
+
   detail::WorldState* world_;
   int rank_;
 
-  // Pending nonblocking-alltoallv state (one in flight per rank).
-  bool async_active_ = false;
-  std::size_t async_elem_ = 0;
-  count_t async_total_ = 0;
-  double async_seconds_ = 0.0;
-  std::vector<count_t> async_counts_;      ///< published to peers
-  std::vector<count_t> async_recvcounts_;  ///< per-source arrivals
+  // Pending nonblocking-alltoallv state, one slot per channel.
+  struct AsyncState {
+    bool active = false;
+    std::size_t elem = 0;
+    count_t total = 0;
+    double seconds = 0.0;  ///< wall time spent inside the start call
+    double modeled = 0.0;  ///< modeled transfer time of the arrivals
+    Timer overlap;         ///< running since start returned
+    std::vector<count_t> counts;      ///< published to peers
+    std::vector<count_t> recvcounts;  ///< per-source arrivals
+  };
+  std::array<AsyncState, kMaxChannels> async_{};
+  // Local mirror of this rank's exposed windows (rank-uniform, since
+  // expose/unexpose are collective).
+  std::array<bool, kMaxWindows> win_active_{};
 };
 
 /// Launch `nranks` rank threads, each running fn(comm). Blocks until

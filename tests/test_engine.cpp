@@ -1,15 +1,18 @@
 // Tests for the unified vertex-program engine (src/engine/): the
 // wrapper-vs-engine bit-identity matrix across the transport knobs
-// ({flat, hierarchical} x {pipeline depth 0, 1} x {coalesce 0, 1, 3}),
-// the two engine-native workloads against serial oracles (delta-capped
-// SSSP vs Dijkstra, approximate triangle count vs an exact serial
-// count), and the Stats/Config plumbing.
+// ({flat, hierarchical} x {two-sided, one-sided} x {pipeline depth
+// 0, 1, 2} x {coalesce 0, 1, 3}), the two engine-native workloads
+// against serial oracles (delta-capped SSSP vs Dijkstra, approximate
+// triangle count vs an exact serial count), and the Stats/Config
+// plumbing.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analytics/analytics.hpp"
@@ -37,20 +40,56 @@ std::vector<T> by_gid(sim::Comm& comm, const DistGraph& g,
   return global;
 }
 
+/// CI matrix hook: XTRA_TEST_BACKEND=onesided / XTRA_TEST_SHARD=hier
+/// re-drive the result-correctness tests through the alternate
+/// transport. Exact-billing assertions never read these — a billing
+/// contract is per-backend by definition.
+comm::Backend env_backend() {
+  const char* v = std::getenv("XTRA_TEST_BACKEND");
+  return v && std::string_view(v) == "onesided" ? comm::Backend::kOneSided
+                                                : comm::Backend::kTwoSided;
+}
+
+comm::ShardPolicy env_shard() {
+  const char* v = std::getenv("XTRA_TEST_SHARD");
+  return v && std::string_view(v) == "hier"
+             ? comm::ShardPolicy::kHierarchical
+             : comm::ShardPolicy::kFlat;
+}
+
+engine::Config env_cfg() {
+  engine::Config cfg;
+  cfg.backend = env_backend();
+  cfg.shard_policy = env_shard();
+  return cfg;
+}
+
 /// The knob matrix of the ISSUE: every transport configuration the
-/// engine must drive every kernel through.
+/// engine must drive every kernel through. Pipeline depth and
+/// coalescing are exclusive staleness regimes, so the matrix sweeps
+/// depth {0, 1, 2} at coalesce 0 and coalesce {1, 3} at depth 0 —
+/// each crossed with both routing policies and both wire backends.
 std::vector<engine::Config> knob_matrix() {
   std::vector<engine::Config> cfgs;
   for (const comm::ShardPolicy policy :
        {comm::ShardPolicy::kFlat, comm::ShardPolicy::kHierarchical})
-    for (const int depth : {0, 1})
-      for (const int coalesce : {0, 1, 3}) {
+    for (const comm::Backend backend :
+         {comm::Backend::kTwoSided, comm::Backend::kOneSided}) {
+      for (const int depth : {0, 1, 2}) {
         engine::Config cfg;
         cfg.shard_policy = policy;
+        cfg.backend = backend;
         cfg.pipeline_depth = depth;
+        cfgs.push_back(cfg);
+      }
+      for (const int coalesce : {1, 3}) {
+        engine::Config cfg;
+        cfg.shard_policy = policy;
+        cfg.backend = backend;
         cfg.coalesce_every = coalesce;
         cfgs.push_back(cfg);
       }
+    }
   return cfgs;
 }
 
@@ -58,6 +97,7 @@ std::string cfg_name(const engine::Config& cfg) {
   return std::string(cfg.shard_policy == comm::ShardPolicy::kFlat
                          ? "flat"
                          : "hier") +
+         (cfg.backend == comm::Backend::kOneSided ? "/1s" : "/2s") +
          "/d" + std::to_string(cfg.pipeline_depth) + "/c" +
          std::to_string(cfg.coalesce_every);
 }
@@ -272,7 +312,7 @@ TEST(EngineFrontier, BfsProgramMatchesBfsLevels) {
     const count_t ecc = graph::bfs_levels(comm, g, 1, levels);
     BfsProgram p;
     p.root = 1;
-    engine::run(comm, g, p);
+    engine::run(comm, g, p, env_cfg());
     EXPECT_EQ(p.ecc, ecc);
     for (lid_t v = 0; v < g.n_total(); ++v) {
       const count_t expect =
@@ -459,7 +499,7 @@ TEST(EngineStats, LedgerAndJsonExport) {
   sim::run_world(2, [&](sim::Comm& comm) {
     const DistGraph g = build_dist_graph(comm, el, VertexDist::block(el.n, 2));
     WccProgram p;
-    const engine::Stats st = engine::run(comm, g, p);
+    const engine::Stats st = engine::run(comm, g, p, env_cfg());
     EXPECT_GT(st.supersteps, 0);
     EXPECT_GT(st.seconds, 0.0);
     EXPECT_GT(st.exchange.exchanges, 0);
@@ -477,13 +517,15 @@ TEST(EngineStats, LedgerAndJsonExport) {
 TEST(EngineConfig, FromParamsMapsEveryKnob) {
   core::Params params;
   params.shard_policy = comm::ShardPolicy::kHierarchical;
+  params.backend = comm::Backend::kOneSided;
   params.max_exchange_bytes = 1 << 14;
-  params.pipeline_depth = 1;
+  params.pipeline_depth = 2;
   params.coalesce_every = 3;
   const engine::Config cfg = engine::Config::from_params(params);
   EXPECT_EQ(cfg.shard_policy, comm::ShardPolicy::kHierarchical);
+  EXPECT_EQ(cfg.backend, comm::Backend::kOneSided);
   EXPECT_EQ(cfg.max_exchange_bytes, 1 << 14);
-  EXPECT_EQ(cfg.pipeline_depth, 1);
+  EXPECT_EQ(cfg.pipeline_depth, 2);
   EXPECT_EQ(cfg.coalesce_every, 3);
   EXPECT_EQ(cfg.tol, 0.0);
   EXPECT_EQ(cfg.max_supersteps, engine::Config::kUnbounded);
@@ -522,7 +564,8 @@ std::vector<count_t> wire_ledger(const engine::Stats& st) {
           ex.inter_node_msgs,     ex.coalesced_flushes,
           ex.overlapped,          ex.max_inflight_bytes,
           ex.drained_incrementally, ex.pipeline_carried,
-          ex.max_pipeline_depth};
+          ex.max_pipeline_depth,    ex.one_sided_gets,
+          ex.one_sided_bytes};
 }
 
 TEST(EngineThreads, PageRankBitIdenticalAcrossThreadCountsAndKnobs) {
@@ -612,7 +655,7 @@ TEST(EngineThreads, SsspBitIdenticalAcrossThreadCounts) {
       DeltaSsspProgram p;
       p.root = 3;
       p.delta = 8;
-      engine::Config cfg;
+      engine::Config cfg = env_cfg();
       cfg.num_threads = threads;
       const engine::Stats st = engine::run(comm, g, p, cfg);
       const auto global = by_gid(comm, g, p.dist);
@@ -644,7 +687,7 @@ TEST(EngineThreads, TriangleCountBitIdenticalAcrossThreadCounts) {
           build_dist_graph(comm, el, VertexDist::random(el.n, 2, 3));
       TriangleCountProgram p;
       p.sample_cap = 64;
-      engine::Config cfg;
+      engine::Config cfg = env_cfg();
       cfg.max_supersteps = 1;  // single staging superstep, as the wrapper
       cfg.num_threads = threads;
       const engine::Stats st = engine::run(comm, g, p, cfg);
@@ -672,13 +715,46 @@ TEST(EngineStats, PipelineCarryRecordedAtDepth1) {
     const DistGraph g =
         build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
     WccProgram p;
-    engine::Config cfg;
+    engine::Config cfg = env_cfg();
     cfg.pipeline_depth = 1;
     const engine::Stats st = engine::run(comm, g, p, cfg);
     if (comm.size() > 1) {
       EXPECT_GT(st.exchange.pipeline_carried, 0);
     }
   });
+}
+
+// ISSUE acceptance: at pipeline_depth = 2 the ledger must observe two
+// refreshes genuinely in flight (max_pipeline_depth == 2), under both
+// backends. One-sided runs must also bill their pulls.
+TEST(EngineStats, MaxPipelineDepthObservedAtDepth2) {
+  const EdgeList el = gen::erdos_renyi(800, 8, 5);
+  for (const comm::Backend backend :
+       {comm::Backend::kTwoSided, comm::Backend::kOneSided}) {
+    sim::run_world(
+        4,
+        [&](sim::Comm& comm) {
+          const DistGraph g =
+              build_dist_graph(comm, el, VertexDist::random(el.n, 4, 3));
+          WccProgram p;
+          engine::Config cfg;
+          cfg.pipeline_depth = 2;
+          cfg.backend = backend;
+          const engine::Stats st = engine::run(comm, g, p, cfg);
+          EXPECT_GT(st.exchange.pipeline_carried, 0);
+          EXPECT_EQ(st.exchange.max_pipeline_depth, 2);
+          if (backend == comm::Backend::kOneSided) {
+            EXPECT_GT(st.exchange.one_sided_gets, 0);
+            EXPECT_GT(st.exchange.one_sided_bytes, 0);
+          } else {
+            EXPECT_EQ(st.exchange.one_sided_gets, 0);
+          }
+          const std::string json = st.to_json();
+          EXPECT_NE(json.find("\"one_sided_gets\""), std::string::npos);
+          EXPECT_NE(json.find("\"one_sided_bytes\""), std::string::npos);
+        },
+        /*ranks_per_node=*/2);
+  }
 }
 
 }  // namespace

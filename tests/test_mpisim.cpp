@@ -3,6 +3,7 @@
 // transfers unchanged.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
@@ -375,6 +376,193 @@ TEST(WorldEdge, LargePayloadRoundtrip) {
                               static_cast<std::uint64_t>(comm.rank()) * 50000);
       at += 50000;
     }
+  });
+}
+
+// ---- Tagged nonblocking channels -----------------------------------
+
+TEST_P(WorldSizes, ChannelsCarryConcurrentExchanges) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    // Three exchanges in flight at once, each with a distinct payload
+    // signature, with blocking collectives interleaved between the
+    // starts and the finishes.
+    constexpr int kChans = 3;
+    std::vector<std::vector<std::uint64_t>> sends(kChans);
+    std::vector<std::vector<count_t>> counts(
+        kChans, std::vector<count_t>(static_cast<std::size_t>(n)));
+    std::vector<std::vector<std::byte>> expect(kChans);
+    std::vector<std::vector<count_t>> expect_rcounts(kChans);
+    for (int c = 0; c < kChans; ++c) {
+      for (int d = 0; d < n; ++d) {
+        counts[c][static_cast<std::size_t>(d)] =
+            static_cast<count_t>((comm.rank() + d + c) % 3 + 1);
+        for (count_t i = 0; i < counts[c][static_cast<std::size_t>(d)]; ++i)
+          sends[c].push_back(static_cast<std::uint64_t>(c) * 1'000'000 +
+                             static_cast<std::uint64_t>(comm.rank()) * 1'000 +
+                             static_cast<std::uint64_t>(i));
+      }
+      (void)comm.alltoallv_bytes(sends[c].data(), sizeof(std::uint64_t),
+                                 counts[c], expect[c], &expect_rcounts[c]);
+    }
+
+    std::array<int, kChans> chan{};
+    for (int c = 0; c < kChans; ++c) {
+      chan[c] = comm.find_free_channel();
+      EXPECT_EQ(chan[c], c);  // lowest-free, rank-uniform
+      (void)comm.alltoallv_bytes_start(sends[c].data(),
+                                       sizeof(std::uint64_t), counts[c],
+                                       chan[c]);
+      EXPECT_TRUE(comm.alltoallv_in_flight(chan[c]));
+      EXPECT_EQ(comm.channels_in_flight(), c + 1);
+      // Blocking collectives ride their own slots mid-flight.
+      EXPECT_EQ(comm.allreduce_sum<count_t>(1), static_cast<count_t>(n));
+    }
+
+    // Finish out of start order: 1, 2, 0.
+    for (const int c : {1, 2, 0}) {
+      std::vector<std::byte> recv;
+      std::vector<count_t> rcounts;
+      (void)comm.alltoallv_bytes_finish(recv, &rcounts, chan[c]);
+      EXPECT_FALSE(comm.alltoallv_in_flight(chan[c]));
+      EXPECT_EQ(recv, expect[c]) << "channel " << c;
+      EXPECT_EQ(rcounts, expect_rcounts[c]);
+      comm.barrier();  // interleaved blocking collective between drains
+    }
+    EXPECT_EQ(comm.channels_in_flight(), 0);
+    // A freed channel is immediately reusable, lowest first.
+    EXPECT_EQ(comm.find_free_channel(), 0);
+  });
+}
+
+TEST(Channels, ExhaustionAndBusyStartThrow) {
+  run_world(2, [](Comm& comm) {
+    const std::vector<count_t> counts(2, 1);
+    const std::vector<std::uint64_t> send(2, 9);
+    for (int c = 0; c < Comm::max_channels(); ++c)
+      (void)comm.alltoallv_bytes_start(send.data(), sizeof(std::uint64_t),
+                                       counts, c);
+    EXPECT_EQ(comm.channels_in_flight(), Comm::max_channels());
+    EXPECT_THROW((void)comm.find_free_channel(), std::runtime_error);
+    EXPECT_THROW((void)comm.alltoallv_bytes_start(
+                     send.data(), sizeof(std::uint64_t), counts, 0),
+                 std::runtime_error);
+    std::vector<std::byte> recv;
+    for (int c = 0; c < Comm::max_channels(); ++c)
+      (void)comm.alltoallv_bytes_finish(recv, nullptr, c);
+    EXPECT_EQ(comm.channels_in_flight(), 0);
+  });
+}
+
+// ---- One-sided windows ---------------------------------------------
+
+TEST_P(WorldSizes, WindowPassiveGetReadsPeerMemory) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    // Each rank exposes n slots; slot d holds rank*100 + d. Every rank
+    // pulls its own slot from every peer — passively, no target-side
+    // call between the expose and the unexpose.
+    std::vector<std::uint64_t> mem(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      mem[static_cast<std::size_t>(d)] =
+          static_cast<std::uint64_t>(comm.rank()) * 100 +
+          static_cast<std::uint64_t>(d);
+    const int win = comm.find_free_window();
+    EXPECT_EQ(win, 0);
+    comm.win_expose(mem.data(), mem.size() * sizeof(std::uint64_t), nullptr,
+                    win);
+    EXPECT_TRUE(comm.win_exposed(win));
+    for (int t = 0; t < n; ++t) {
+      EXPECT_EQ(comm.win_bytes(t, win), mem.size() * sizeof(std::uint64_t));
+      std::uint64_t got = 0;
+      comm.win_get(win, t,
+                   static_cast<std::size_t>(comm.rank()) *
+                       sizeof(std::uint64_t),
+                   sizeof(std::uint64_t), &got);
+      EXPECT_EQ(got, static_cast<std::uint64_t>(t) * 100 +
+                         static_cast<std::uint64_t>(comm.rank()));
+    }
+    comm.win_unexpose(win);
+    EXPECT_FALSE(comm.win_exposed(win));
+  });
+}
+
+TEST_P(WorldSizes, WindowFenceOrdersPutsBeforeReads) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& comm) {
+    // Epoch 1: rank r puts its rank id into slot r of every peer.
+    // The fence separates the epochs, after which every slot is
+    // readable locally — MPI_Win_fence semantics.
+    std::vector<std::uint64_t> mem(static_cast<std::size_t>(n),
+                                   ~std::uint64_t{0});
+    comm.win_expose(mem.data(), mem.size() * sizeof(std::uint64_t));
+    const std::uint64_t me = static_cast<std::uint64_t>(comm.rank());
+    for (int t = 0; t < n; ++t)
+      comm.win_put(0, t, static_cast<std::size_t>(comm.rank()) *
+                             sizeof(std::uint64_t),
+                   sizeof(std::uint64_t), &me);
+    comm.win_fence(0);
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(mem[static_cast<std::size_t>(s)],
+                static_cast<std::uint64_t>(s));
+    comm.win_unexpose(0);
+  });
+}
+
+TEST(Windows, MetaTravelsWithTheExposure) {
+  run_world(3, [](Comm& comm) {
+    // Registration metadata (per-destination counts) rides the expose
+    // for free — the rendezvous descriptor pattern.
+    std::vector<count_t> meta{10 + comm.rank(), 20 + comm.rank(),
+                              30 + comm.rank()};
+    std::uint64_t payload = 0;
+    comm.win_expose(&payload, sizeof(payload), meta.data());
+    for (int t = 0; t < 3; ++t) {
+      const count_t* m = comm.win_meta(t, 0);
+      ASSERT_NE(m, nullptr);
+      EXPECT_EQ(m[comm.rank()],
+                static_cast<count_t>((comm.rank() + 1) * 10 + t));
+    }
+    comm.win_unexpose(0);
+  });
+}
+
+TEST(Windows, BillingChargesOriginAndSelfIsFree) {
+  run_world(4, [](Comm& comm) {
+    std::vector<std::uint64_t> mem(4, 5);
+    comm.barrier();
+    comm.reset_stats();
+    comm.win_expose(mem.data(), mem.size() * sizeof(std::uint64_t));
+    std::uint64_t got = 0;
+    for (int t = 0; t < 4; ++t)
+      comm.win_get(0, t, 0, sizeof(std::uint64_t), &got);
+    const std::uint64_t one = 1;
+    comm.win_put(0, comm.rank(), 0, sizeof(std::uint64_t), &one);  // self
+    comm.win_fence(0);
+    comm.win_unexpose(0);
+    const CommStats st = comm.stats();
+    // 4 gets (one self) + 1 self put; only the 3 remote gets bill wire
+    // bytes, and expose/fence/unexpose are 3 collectives.
+    EXPECT_EQ(st.one_sided_gets, 4);
+    EXPECT_EQ(st.one_sided_puts, 1);
+    EXPECT_EQ(st.one_sided_bytes, 3 * sizeof(std::uint64_t));
+    EXPECT_EQ(st.bytes_sent, 3 * sizeof(std::uint64_t));
+    EXPECT_EQ(st.messages_sent, 3);
+    EXPECT_EQ(st.collectives, 3);
+  });
+}
+
+TEST(Windows, ExhaustionThrowsAndChannelsStayIndependent) {
+  run_world(2, [](Comm& comm) {
+    std::uint64_t x = 0;
+    for (int w = 0; w < Comm::max_windows(); ++w)
+      comm.win_expose(&x, sizeof(x), nullptr, w);
+    EXPECT_THROW((void)comm.find_free_window(), std::runtime_error);
+    // Windows and channels are separate namespaces: all windows busy,
+    // every channel still free.
+    EXPECT_EQ(comm.find_free_channel(), 0);
+    for (int w = 0; w < Comm::max_windows(); ++w) comm.win_unexpose(w);
+    EXPECT_EQ(comm.find_free_window(), 0);
   });
 }
 

@@ -14,7 +14,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "analytics/analytics.hpp"
@@ -29,6 +31,16 @@ namespace xtra {
 namespace {
 
 using comm::Exchanger;
+
+/// CI matrix hook: XTRA_TEST_BACKEND=onesided re-drives the
+/// result-correctness pipeline tests over the pull-mode transport.
+/// The exact-billing drain tests below never read this — their phase
+/// arithmetic is a per-backend contract.
+comm::Backend env_backend() {
+  const char* v = std::getenv("XTRA_TEST_BACKEND");
+  return v && std::string_view(v) == "onesided" ? comm::Backend::kOneSided
+                                                : comm::Backend::kTwoSided;
+}
 
 /// Deterministic per-(source, dest) record counts with some zero runs.
 count_t ragged_count(int src, int dst, int salt) {
@@ -230,8 +242,10 @@ TEST(HaloPipeline, IncrementalDrainMatchesFinishPrefetch) {
     sim::run_world(3, [&](sim::Comm& comm) {
       const auto g = graph::build_dist_graph(
           comm, el, graph::VertexDist::random(el.n, 3, 5));
-      graph::HaloPlan blocking(comm, g);
-      graph::HaloPlan incremental(comm, g);
+      graph::HaloPlan blocking(comm, g, comm::ShardPolicy::kFlat,
+                               env_backend());
+      graph::HaloPlan incremental(comm, g, comm::ShardPolicy::kFlat,
+                                  env_backend());
       blocking.set_max_send_bytes(bound);
       incremental.set_max_send_bytes(bound);
 
@@ -277,8 +291,8 @@ TEST(HaloPipeline, Depth0BitIdenticalToBlockingSuperstep) {
           [&](sim::Comm& comm) {
             const auto g = graph::build_dist_graph(
                 comm, el, graph::VertexDist::random(el.n, 6, 5));
-            graph::HaloPlan ref_halo(comm, g, policy);
-            graph::HaloPlan pipe_halo(comm, g, policy);
+            graph::HaloPlan ref_halo(comm, g, policy, env_backend());
+            graph::HaloPlan pipe_halo(comm, g, policy, env_backend());
             ref_halo.set_max_send_bytes(bound);
             pipe_halo.set_max_send_bytes(bound);
             graph::SuperstepPipeline<gid_t> pipe(pipe_halo, 0);
@@ -313,7 +327,8 @@ TEST(HaloPipeline, Depth1CarriesRefreshAndFlushesToOwnersValues) {
     sim::run_world(4, [&](sim::Comm& comm) {
       const auto g = graph::build_dist_graph(
           comm, el, graph::VertexDist::random(el.n, 4, 5));
-      graph::HaloPlan halo(comm, g);
+      graph::HaloPlan halo(comm, g, comm::ShardPolicy::kFlat,
+                           env_backend());
       halo.set_max_send_bytes(bound);
       halo.reset_stats();
       graph::SuperstepPipeline<gid_t> pipe(halo, 1);
@@ -352,25 +367,104 @@ TEST(HaloPipeline, Depth1CarriesRefreshAndFlushesToOwnersValues) {
   }
 }
 
+TEST(HaloPipeline, Depth2KeepsTwoRefreshesInFlightAndFlushes) {
+  const graph::EdgeList el = gen::erdos_renyi(400, 8, 31);
+  for (const count_t bound : {count_t(0), count_t(8), count_t(256)}) {
+    sim::run_world(4, [&](sim::Comm& comm) {
+      const auto g = graph::build_dist_graph(
+          comm, el, graph::VertexDist::random(el.n, 4, 5));
+      graph::HaloPlan halo(comm, g, comm::ShardPolicy::kFlat,
+                           env_backend());
+      halo.set_max_send_bytes(bound);
+      halo.reset_stats();
+      graph::SuperstepPipeline<gid_t> pipe(halo, 2);
+      EXPECT_EQ(pipe.depth(), 2);
+      EXPECT_EQ(halo.pipeline_lanes(), 2);
+
+      // update writes iteration-tagged values into owned entries only.
+      std::vector<gid_t> vals(g.n_total(), 0);
+      constexpr int kIters = 5;
+      for (int iter = 1; iter <= kIters; ++iter) {
+        pipe.superstep(
+            comm, vals,
+            [&](lid_t v) {
+              vals[v] = g.gid_of(v) * 100 + static_cast<gid_t>(iter);
+            },
+            [] {});
+        // Steady state holds two refreshes on the wire at once — the
+        // point of the multi-channel substrate...
+        EXPECT_EQ(halo.prefetches_in_flight(), std::min(iter, 2));
+        // ...and mid-stream ghosts hold values at most two supersteps
+        // old (never this superstep's, never garbage).
+        for (lid_t v = g.n_local(); v < g.n_total(); ++v) {
+          const gid_t age = vals[v] == 0 ? 0 : vals[v] % 100;
+          EXPECT_LT(age, static_cast<gid_t>(iter) + 1);
+          EXPECT_GE(age, std::max(0, iter - 2));
+        }
+      }
+      pipe.flush(comm, vals);
+      EXPECT_FALSE(pipe.in_flight());
+      for (lid_t v = 0; v < g.n_total(); ++v)
+        EXPECT_EQ(vals[v], g.gid_of(v) * 100 + kIters);
+      // Every refresh but the last crossed at least one superstep
+      // boundary, and the deepest carry spanned two.
+      EXPECT_EQ(halo.stats().pipeline_carried, kIters - 1);
+      EXPECT_EQ(halo.stats().max_pipeline_depth, 2);
+      EXPECT_GT(halo.stats().drained_incrementally, 0);
+    });
+  }
+}
+
+TEST(HaloPipeline, Depth2OneSidedBitIdenticalToTwoSided) {
+  const graph::EdgeList el = gen::erdos_renyi(400, 8, 43);
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const auto g = graph::build_dist_graph(
+        comm, el, graph::VertexDist::random(el.n, 4, 5));
+    constexpr int kIters = 4;
+    auto run = [&](comm::Backend backend) {
+      graph::HaloPlan halo(comm, g, comm::ShardPolicy::kFlat, backend);
+      graph::SuperstepPipeline<gid_t> pipe(halo, 2);
+      std::vector<std::vector<gid_t>> trace;
+      std::vector<gid_t> vals(g.n_total());
+      for (lid_t v = 0; v < g.n_total(); ++v) vals[v] = g.gid_of(v);
+      for (int iter = 1; iter <= kIters; ++iter) {
+        pipe.superstep(
+            comm, vals,
+            [&](lid_t v) {
+              vals[v] = vals[v] * 5 + static_cast<gid_t>(iter);
+            },
+            [] {});
+        trace.push_back(vals);
+      }
+      pipe.flush(comm, vals);
+      trace.push_back(vals);
+      return trace;
+    };
+    const auto pushed = run(comm::Backend::kTwoSided);
+    const auto pulled = run(comm::Backend::kOneSided);
+    ASSERT_EQ(pulled, pushed);
+  });
+}
+
 // MPI+X: the parallel drive (chunked sweeps at depth 0, lid-range
 // drain groups at depth >= 1) must land every superstep in the same
 // state as the serial grouping, with the same wire bytes. This is also
 // the case the CI ThreadSanitizer job hammers at threads = 8.
 TEST(HaloPipeline, ParallelSuperstepBitIdenticalAtEveryDepth) {
   const graph::EdgeList el = gen::erdos_renyi(400, 8, 37);
-  for (const int depth : {0, 1}) {
+  for (const int depth : {0, 1, 2}) {
     sim::run_world(4, [&](sim::Comm& comm) {
       const auto g = graph::build_dist_graph(
           comm, el, graph::VertexDist::random(el.n, 4, 5));
       constexpr int kIters = 4;
-      // Two sequential pipelines (a depth-1 refresh stays in flight
-      // across supersteps, and the substrate allows one nonblocking
-      // alltoallv at a time): serial records its trajectory, the
-      // parallel replay must reproduce it superstep by superstep.
+      // Two sequential pipelines: serial records its trajectory, the
+      // parallel replay must reproduce it superstep by superstep
+      // (at depth d the carried refreshes ride d tagged channels).
       std::vector<std::vector<gid_t>> trace;
       count_t ref_bytes = 0;
       {
-        graph::HaloPlan halo(comm, g);
+        graph::HaloPlan halo(comm, g, comm::ShardPolicy::kFlat,
+                             env_backend());
         graph::SuperstepPipeline<gid_t> pipe(halo, depth);
         std::vector<gid_t> vals(g.n_total());
         for (lid_t v = 0; v < g.n_total(); ++v) vals[v] = g.gid_of(v);
@@ -388,7 +482,8 @@ TEST(HaloPipeline, ParallelSuperstepBitIdenticalAtEveryDepth) {
         ref_bytes = halo.stats().bytes_sent;
       }
       {
-        graph::HaloPlan halo(comm, g);
+        graph::HaloPlan halo(comm, g, comm::ShardPolicy::kFlat,
+                             env_backend());
         graph::SuperstepPipeline<gid_t> pipe(halo, depth);
         std::vector<gid_t> vals(g.n_total());
         for (lid_t v = 0; v < g.n_total(); ++v) vals[v] = g.gid_of(v);
@@ -418,7 +513,8 @@ TEST(HaloPipeline, DepthClampsToSubstrateLimit) {
         comm, el, graph::VertexDist::block(el.n, 2));
     graph::HaloPlan halo(comm, g);
     graph::SuperstepPipeline<gid_t> deep(halo, 7);
-    EXPECT_EQ(deep.depth(), 1);  // one in-flight exchange per rank
+    EXPECT_EQ(deep.depth(), graph::kMaxPipelineDepth);  // window budget
+    EXPECT_EQ(halo.pipeline_lanes(), graph::kMaxPipelineDepth);
     graph::SuperstepPipeline<gid_t> neg(halo, -2);
     EXPECT_EQ(neg.depth(), 0);
   });
@@ -433,7 +529,7 @@ TEST(HaloPipeline, Depth1StressManySuperstepsSmallPhases) {
   sim::run_world(4, [&](sim::Comm& comm) {
     const auto g = graph::build_dist_graph(
         comm, el, graph::VertexDist::random(el.n, 4, 7));
-    graph::HaloPlan halo(comm, g);
+    graph::HaloPlan halo(comm, g, comm::ShardPolicy::kFlat, env_backend());
     halo.set_max_send_bytes(sizeof(gid_t));  // one record per phase
     graph::SuperstepPipeline<gid_t> pipe(halo, 1);
     std::vector<gid_t> vals(g.n_total(), 1);
