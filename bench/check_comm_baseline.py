@@ -59,9 +59,20 @@ width is a pure throughput knob by design (DESIGN.md §6); any drift
 means a worker thread raced the wire accounting, and no baseline
 tolerance excuses it.
 
+With --compare-bench, a second bench binary (in CI: the same tree
+built with -DXTRA_VERIFY_COMM=ON) is swept and every gated wire metric
+must match the primary run's rows EXACTLY, key by key. The verifier is
+observability-only: its extra barriers are unbilled and its checksums
+never touch payloads, so any drift in bytes/messages/collectives
+between the two builds means a verifier hook leaked into the wire
+accounting. Timing metrics are exempt (the verifier legitimately costs
+wall clock).
+
 Usage:
   python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
   python3 bench/check_comm_baseline.py --bench ... --update   # refresh
+  python3 bench/check_comm_baseline.py --bench ... \\
+      --compare-bench build-verify/bench_micro_exchange
 """
 import argparse
 import json
@@ -103,6 +114,15 @@ EXPOSED = "exposed_wire_seconds_per_iter"
 # not move more wire bytes per iteration than its two-sided twin.
 ONESIDED_ROW = re.compile(r"^(.+)_onesided$")
 ONESIDED_SLACK = 1.001  # equality modulo float formatting
+# Deterministic wire counters that --compare-bench pins to exact
+# equality between the verifier-on and verifier-off builds. Timing and
+# exposure fields are excluded: the verifier may cost wall clock, never
+# wire traffic.
+PARITY_METRICS = ("bytes_per_iter", "collectives_per_iter",
+                  "inter_node_bytes_per_iter",
+                  "intra_node_bytes_per_iter",
+                  "inter_node_msgs_per_iter",
+                  "one_sided_bytes_per_iter")
 
 
 def run_bench(bench, min_time):
@@ -321,6 +341,31 @@ def check_onesided_contract(current):
     return failures
 
 
+def check_verifier_parity(current, other):
+    """Every gated wire metric must be identical, row by row, between
+    the primary (verifier-off) and comparison (verifier-on) sweeps."""
+    failures = []
+    for key in sorted(set(current) | set(other)):
+        a, b = current.get(key), other.get(key)
+        if a is None or b is None:
+            failures.append(
+                f"{key}: present only in the "
+                f"{'comparison' if a is None else 'primary'} run — the two "
+                f"builds must sweep identical rows")
+            continue
+        for metric in PARITY_METRICS:
+            x = a.get(metric, 0.0)
+            y = b.get(metric, 0.0)
+            # Exact modulo the %.1f/%.2f formatting of the JSON block.
+            if abs(x - y) > 1e-6 * max(1.0, abs(x)):
+                failures.append(
+                    f"{key}: {metric} {y} (verifier build) != {x} — the "
+                    f"verifier must be observability-only on the wire")
+    if not failures and not current:
+        failures.append("verifier parity: no rows to compare")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
@@ -333,6 +378,10 @@ def main():
                          "retried automatically for older releases)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the current run")
+    ap.add_argument("--compare-bench", metavar="PATH",
+                    help="second bench binary (verifier-enabled build); "
+                         "its gated wire metrics must equal the primary "
+                         "run's exactly")
     ap.add_argument("--dump", metavar="PATH",
                     help="write the run's COMM_STATS_JSON rows to PATH "
                          "(CI uploads this as an artifact on gate "
@@ -380,6 +429,15 @@ def main():
     failures += check_depth_contract(current)
     failures += check_onesided_contract(current)
 
+    parity = ""
+    if args.compare_bench:
+        other_rows = parse_rows(run_bench(args.compare_bench,
+                                          args.min_time))
+        other = {key_of(r): r for r in other_rows}
+        failures += check_verifier_parity(current, other)
+        parity = (f", and the verifier build matched all {len(current)} "
+                  f"rows exactly on the wire")
+
     if failures:
         print(f"\ncomm baseline check FAILED ({len(failures)} regressions):")
         for f in failures:
@@ -388,7 +446,7 @@ def main():
     print(f"comm baseline check passed: {len(baseline)} rows within "
           f"{args.tolerance:.0%}; hierarchical inter-node, coalesced "
           f"commLP, engine-twin, thread-twin, pipeline-depth, and "
-          f"one-sided contracts held")
+          f"one-sided contracts held" + parity)
 
 
 if __name__ == "__main__":

@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
                              : graph::read_edge_list_text(path);
     if (el.directed) el = graph::symmetrized(el);
     std::fprintf(stderr, "loaded %llu vertices, %lld edges\n",
-                 static_cast<unsigned long long>(el.n), el.edge_count());
+                 static_cast<unsigned long long>(el.n),
+                 static_cast<long long>(el.edge_count()));
 
     std::vector<part_t> parts;
     sim::run_world(nranks, [&](sim::Comm& comm) {

@@ -226,19 +226,19 @@ struct CommLpProgram {
   void update(Ctx& ctx, lid_t v) {
     const auto nbrs = ctx.g.neighbors(v);
     if (nbrs.empty()) return;
-    auto& nbr_labels =
-        this->nbr_labels[static_cast<std::size_t>(par::current_slot())];
-    nbr_labels.clear();
-    for (const lid_t u : nbrs) nbr_labels.push_back(ctx.prev[u]);
-    std::sort(nbr_labels.begin(), nbr_labels.end());
+    auto& labels = nbr_labels[static_cast<std::size_t>(
+        par::current_slot())];  // lint-ok: per-slot scratch
+    labels.clear();
+    for (const lid_t u : nbrs) labels.push_back(ctx.prev[u]);
+    std::sort(labels.begin(), labels.end());
     gid_t best = ctx.prev[v];
     std::size_t best_count = 0;
-    for (std::size_t i = 0; i < nbr_labels.size();) {
+    for (std::size_t i = 0; i < labels.size();) {
       std::size_t j = i;
-      while (j < nbr_labels.size() && nbr_labels[j] == nbr_labels[i]) ++j;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
       if (j - i > best_count) {
         best_count = j - i;
-        best = nbr_labels[i];
+        best = labels[i];
       }
       i = j;
     }
@@ -314,12 +314,12 @@ struct KCoreProgram {
       ctx.values[v] = ctx.g.degree(v);
   }
   void update(Ctx& ctx, lid_t v) {
-    auto& nbr_core =
-        this->nbr_core[static_cast<std::size_t>(par::current_slot())];
-    nbr_core.clear();
-    for (const lid_t u : ctx.g.neighbors(v)) nbr_core.push_back(ctx.prev[u]);
+    auto& cores = nbr_core[static_cast<std::size_t>(
+        par::current_slot())];  // lint-ok: per-slot scratch
+    cores.clear();
+    for (const lid_t u : ctx.g.neighbors(v)) cores.push_back(ctx.prev[u]);
     const count_t h =
-        std::min<count_t>(detail::h_index(nbr_core), ctx.g.degree(v));
+        std::min<count_t>(detail::h_index(cores), ctx.g.degree(v));
     if (h < ctx.values[v]) {
       ctx.values[v] = h;
       ctx.note_changed();

@@ -46,7 +46,9 @@ class CoalescingExchanger {
                                count_t max_send_bytes = 0,
                                ShardPolicy policy = ShardPolicy::kFlat,
                                Backend backend = Backend::kTwoSided)
-      : flush_bytes_(flush_bytes), ex_(max_send_bytes, policy, backend) {}
+      : flush_bytes_(flush_bytes), ex_(max_send_bytes, policy, backend) {
+    ex_.set_label("comm::CoalescingExchanger");
+  }
 
   /// Collective: stage one round's records (counts[r] per destination,
   /// destination-grouped in `send`) and agree whether to flush. When

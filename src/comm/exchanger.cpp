@@ -202,7 +202,7 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
     // receive buffer are handled by the finish half.
     account_phase(comm, pending_.counts_, elem);
     (void)comm.alltoallv_bytes_start(pending_.wire_, elem, pending_.counts_,
-                                     pending_.channel_);
+                                     pending_.channel_, label_);
   } else {
     // Phased mode: learn the final per-source totals up front (one
     // small alltoall), so every phase's arrivals land directly in
@@ -220,7 +220,7 @@ void Exchanger::start_bytes(sim::Comm& comm, const std::byte* send,
     window_counts(pending_.offsets_, 0, hi, phase_counts_);
     account_phase(comm, phase_counts_, elem);
     (void)comm.alltoallv_bytes_start(pending_.wire_, elem, phase_counts_,
-                                     pending_.channel_);
+                                     pending_.channel_, label_);
   }
   const double sec = t.seconds();
   stats_.seconds += sec;
@@ -294,7 +294,7 @@ bool Exchanger::drain_step_bytes(sim::Comm& comm) {
       // instant the previous phase finished, within this same call.
       (void)comm.alltoallv_bytes_start(
           pending_.wire_ + static_cast<std::size_t>(lo) * elem, elem,
-          phase_counts_, pending_.channel_);
+          phase_counts_, pending_.channel_, label_);
       more = true;
     }
     // Arrivals from source s across phases, concatenated in phase
@@ -356,7 +356,7 @@ void Exchanger::start_onesided(sim::Comm& comm, std::size_t elem) {
   comm.win_expose(
       const_cast<std::byte*>(pending_.wire_),
       static_cast<std::size_t>(pending_.total_) * elem,
-      pending_.counts_.data(), pending_.win_);
+      pending_.counts_.data(), pending_.win_, label_);
 }
 
 void Exchanger::finish_onesided(sim::Comm& comm) {
@@ -425,7 +425,12 @@ void Exchanger::start_hier(sim::Comm& comm, const std::byte* send,
                            count_t total) {
   Timer t;
   const int P = comm.size();
-  if (!hier_) hier_ = std::make_unique<Hier>();
+  if (!hier_) {
+    hier_ = std::make_unique<Hier>();
+    hier_->gather.label_ = "comm::Exchanger hier-gather";
+    hier_->leaders.label_ = "comm::Exchanger hier-leaders";
+    hier_->scatter.label_ = "comm::Exchanger hier-scatter";
+  }
   Hier& h = *hier_;
   h.base = h.sums();
 

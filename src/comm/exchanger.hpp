@@ -210,6 +210,13 @@ class Exchanger {
     policy_ = policy;
   }
 
+  /// Attribution tag passed to the substrate with every channel
+  /// acquisition and window exposure this Exchanger performs; shows up
+  /// in channel-exhaustion and verifier diagnostics. Must point at
+  /// storage outliving the Exchanger (string literals, in practice).
+  const char* label() const { return label_; }
+  void set_label(const char* label) { label_ = label; }
+
   Backend backend() const { return backend_; }
   /// Switch transport backend; results are bit-identical either way.
   /// Same value required on all ranks; may not change mid-flight.
@@ -453,6 +460,7 @@ class Exchanger {
   count_t max_send_bytes_ = 0;
   ShardPolicy policy_ = ShardPolicy::kFlat;
   Backend backend_ = Backend::kTwoSided;
+  const char* label_ = "comm::Exchanger";
   ExchangeStats stats_;
   AsyncExchange pending_;  ///< in-flight state between start and finish
   bool hier_inflight_ = false;  ///< pending exchange uses the hier path

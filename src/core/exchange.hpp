@@ -36,7 +36,9 @@ class UpdateExchanger {
  public:
   /// max_send_bytes == 0: unbounded single alltoallv per exchange.
   explicit UpdateExchanger(count_t max_send_bytes = 0)
-      : ex_(max_send_bytes) {}
+      : ex_(max_send_bytes) {
+    ex_.set_label("core::UpdateExchanger");
+  }
 
   /// Collective. `queue` holds owned local ids whose entry in `parts`
   /// changed; on return the ghost entries of `parts` reflect all

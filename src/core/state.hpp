@@ -79,8 +79,8 @@ struct PhaseState {
   /// concurrently without communicating, so the bound is worst-case:
   /// even if every rank removed as many vertices as this one, at least
   /// one vertex must remain.
-  bool can_leave(part_t x) const {
-    const auto i = static_cast<std::size_t>(x);
+  bool can_leave(part_t p) const {
+    const auto i = static_cast<std::size_t>(p);
     return size_v[i] + static_cast<count_t>(nprocs) * (change_v[i] - 1) >= 1;
   }
 };

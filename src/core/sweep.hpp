@@ -65,8 +65,8 @@ class PhaseScan {
       slots_.emplace_back(nparts);
     weight_ = weight;
     par::for_chunks(n, [&](count_t c, count_t lo, count_t hi) {
-      NeighborCounts& counts =
-          slots_[static_cast<std::size_t>(par::current_slot())];
+      NeighborCounts& counts = slots_[static_cast<std::size_t>(
+          par::current_slot())];  // lint-ok: per-slot scratch
       auto& out = chunk_entries_[static_cast<std::size_t>(c)];
       out.clear();
       for (count_t i = lo; i < hi; ++i) {

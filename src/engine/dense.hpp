@@ -157,7 +157,9 @@ struct DenseContext {
   /// setting ctx.changed directly — both routes feed the same
   /// convergence collective.
   void note_changed() {
-    changed_slots_[static_cast<std::size_t>(par::current_slot())].flag = 1;
+    changed_slots_[static_cast<std::size_t>(
+        par::current_slot())]  // lint-ok: per-slot scratch, folded in order
+        .flag = 1;
   }
   void reset_changed() {
     changed = false;

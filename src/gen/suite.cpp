@@ -65,6 +65,7 @@ const char* to_string(GraphClass cls) {
 }
 
 double env_scale() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-once startup probe
   const char* env = std::getenv("XTRA_SCALE");
   if (!env) return 1.0;
   const double s = std::atof(env);

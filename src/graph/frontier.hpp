@@ -67,7 +67,9 @@ class FrontierStepper {
   explicit FrontierStepper(count_t max_send_bytes = 0,
                            comm::ShardPolicy policy = comm::ShardPolicy::kFlat,
                            comm::Backend backend = comm::Backend::kTwoSided)
-      : ex_(max_send_bytes, policy, backend) {}
+      : ex_(max_send_bytes, policy, backend) {
+    ex_.set_label("graph::FrontierStepper");
+  }
 
   template <typename Nbrs, typename Improves, typename Relax,
             typename MakeNotify, typename Receive>

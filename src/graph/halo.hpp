@@ -284,6 +284,7 @@ class HaloPlan {
   void add_lane() {
     lanes_.push_back(
         std::make_unique<Lane>(max_send_bytes_, policy_, backend_));
+    lanes_.back()->ex.set_label("graph::HaloPlan lane");
   }
 
   template <typename T>

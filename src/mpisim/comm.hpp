@@ -58,6 +58,7 @@
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
+#include "verify/verify.hpp"
 
 namespace xtra::sim {
 
@@ -88,6 +89,10 @@ struct CommStats {
 inline constexpr int kMaxChannels = 8;
 /// Concurrent one-sided exposure windows per rank.
 inline constexpr int kMaxWindows = 4;
+
+// The verifier sits below this header and mirrors the slot counts.
+static_assert(verify::kChannelSlots == kMaxChannels);
+static_assert(verify::kWindowSlots == kMaxWindows);
 
 /// Alpha-beta wire model behind CommStats::exposed_seconds. The modeled
 /// link is deliberately slow (1 MB/s, 2 ms startup) so that on the
@@ -120,7 +125,10 @@ class WorldState {
         async_slots_(static_cast<std::size_t>(nranks) * kMaxChannels),
         async_aux_slots_(static_cast<std::size_t>(nranks) * kMaxChannels),
         win_slots_(static_cast<std::size_t>(nranks) * kMaxWindows),
-        stats_(static_cast<std::size_t>(nranks)) {}
+        stats_(static_cast<std::size_t>(nranks)),
+        // Inert (zero-rank) when the verifier is compiled out — the
+        // hooks that would key into it fold away too.
+        ledger_(verify::kEnabled ? nranks : 0) {}
 
   int nranks() const { return nranks_; }
   int ranks_per_node() const { return ranks_per_node_; }
@@ -174,6 +182,8 @@ class WorldState {
 
   CommStats& stats(int rank) { return stats_[static_cast<std::size_t>(rank)]; }
 
+  verify::WorldLedger& ledger() { return ledger_; }
+
  private:
   int nranks_;
   int ranks_per_node_;
@@ -193,6 +203,7 @@ class WorldState {
   // Per-(window, rank) one-sided exposure slots.
   std::vector<WinSlot> win_slots_;
   std::vector<CommStats> stats_;
+  verify::WorldLedger ledger_;
 };
 
 }  // namespace detail
@@ -230,20 +241,24 @@ class Comm {
 
   /// Block until every rank in the world reaches the barrier.
   void barrier() {
+    vguard("barrier");
     Timer t;
-    world_->sync();
+    vsync(verify::Op::kBarrier, -1, 0, 0);
     note(0, 0, t);
   }
 
   /// Broadcast `data` from `root` to all ranks (resizing receivers).
   template <typename T>
   void bcast(std::vector<T>& data, int root = 0) {
+    vguard("bcast");
     Timer t;
     if (rank_ == root) {
       world_->slot(root) = data.data();
       world_->size_slot(root) = data.size();
     }
-    world_->sync();
+    // The payload length is root-determined (receivers resize), so it
+    // is a local diagnostic, not part of the uniform fingerprint.
+    vsync(verify::Op::kBcast, root, sizeof(T), data.size());
     if (rank_ != root) {
       data.resize(world_->size_slot(root));
       std::memcpy(data.data(), world_->slot(root), data.size() * sizeof(T));
@@ -267,10 +282,12 @@ class Comm {
   /// `op` must be associative and commutative, e.g. std::plus<>{}.
   template <typename T, typename Op>
   void allreduce(std::vector<T>& data, Op op) {
+    vguard("allreduce");
     Timer t;
     world_->slot(rank_) = data.data();
     world_->size_slot(rank_) = data.size();
-    world_->sync();
+    vsync(verify::Op::kAllreduce, -1,
+          verify::hash_mix(sizeof(T), data.size()), 0);
     std::vector<T> acc(data.size());
     for (int r = 0; r < size(); ++r) {
       XTRA_ASSERT_MSG(world_->size_slot(r) == data.size(),
@@ -335,10 +352,11 @@ class Comm {
   /// send.size() == size(); result[r] is what rank r sent to us.
   template <typename T>
   std::vector<T> alltoall(const std::vector<T>& send) {
+    vguard("alltoall");
     XTRA_ASSERT(send.size() == static_cast<std::size_t>(size()));
     Timer t;
     world_->slot(rank_) = send.data();
-    world_->sync();
+    vsync(verify::Op::kAlltoall, -1, sizeof(T), 0);
     std::vector<T> recv(static_cast<std::size_t>(size()));
     for (int r = 0; r < size(); ++r)
       recv[static_cast<std::size_t>(r)] =
@@ -358,6 +376,7 @@ class Comm {
   std::vector<T> alltoallv(const std::vector<T>& send,
                            const std::vector<count_t>& sendcounts,
                            std::vector<count_t>* recvcounts_out = nullptr) {
+    vguard("alltoallv");
     XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
     Timer t;
     std::vector<count_t> sendoffsets(sendcounts.size() + 1, 0);
@@ -369,7 +388,7 @@ class Comm {
 
     world_->slot(rank_) = send.data();
     world_->aux_slot(rank_) = sendcounts.data();
-    world_->sync();
+    vsync(verify::Op::kAlltoallv, -1, sizeof(T), vhash_counts(sendcounts));
 
     std::vector<count_t> recvcounts(static_cast<std::size_t>(size()));
     count_t total = 0;
@@ -417,6 +436,7 @@ class Comm {
                           const std::vector<count_t>& sendcounts,
                           std::vector<std::byte>& recv,
                           std::vector<count_t>* recvcounts_out = nullptr) {
+    vguard("alltoallv_bytes");
     XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
     Timer t;
 #ifndef NDEBUG
@@ -427,7 +447,8 @@ class Comm {
 #endif
     world_->slot(rank_) = send;
     world_->aux_slot(rank_) = sendcounts.data();
-    world_->sync();
+    vsync(verify::Op::kAlltoallvBytes, -1, elem_size,
+          vhash_counts(sendcounts));
 
     std::vector<count_t> recvcounts(static_cast<std::size_t>(size()));
     count_t total = 0;
@@ -483,9 +504,25 @@ class Comm {
   int find_free_channel() const {
     for (int c = 0; c < kMaxChannels; ++c)
       if (!async_[static_cast<std::size_t>(c)].active) return c;
-    throw std::runtime_error(
-        "mpisim: all " + std::to_string(kMaxChannels) +
-        " nonblocking channels are in flight on this rank");
+    // Exhaustion diagnostic names every busy channel's opener (the
+    // label passed to alltoallv_bytes_start) and when it started, so
+    // the leaked/forgotten finish is findable without a debugger.
+    std::string msg = "mpisim: all " + std::to_string(kMaxChannels) +
+                      " nonblocking channels are in flight on this rank "
+                      "(rank " +
+                      std::to_string(rank_) + "):";
+    for (int c = 0; c < kMaxChannels; ++c) {
+      const AsyncState& ch = async_[static_cast<std::size_t>(c)];
+      count_t staged = 0;
+      for (const count_t n : ch.counts) staged += n;
+      msg += "\n  channel " + std::to_string(c) + ": '" +
+             (ch.label ? ch.label : "(unlabeled)") +
+             "' — started at this rank's collective #" +
+             std::to_string(ch.opened_at) + ", " +
+             std::to_string(staged * static_cast<count_t>(ch.elem)) +
+             " bytes staged";
+    }
+    throw std::runtime_error(msg);
   }
 
   /// Nonblocking half of alltoallv_bytes (MPI_Ialltoallv post) on a
@@ -502,12 +539,19 @@ class Comm {
   /// order). Throws std::runtime_error if `channel` is already busy.
   count_t alltoallv_bytes_start(const void* send, std::size_t elem_size,
                                 const std::vector<count_t>& sendcounts,
-                                int channel = 0) {
+                                int channel = 0,
+                                const char* label = nullptr) {
+    vguard("alltoallv_bytes_start");
     XTRA_ASSERT(channel >= 0 && channel < kMaxChannels);
     AsyncState& ch = async_[static_cast<std::size_t>(channel)];
     if (ch.active)
-      throw std::runtime_error("mpisim: channel " + std::to_string(channel) +
-                               " already has an exchange in flight");
+      throw std::runtime_error(
+          "mpisim: channel " + std::to_string(channel) +
+          " already has an exchange in flight (" +
+          std::string(ch.label ? ch.label : "(unlabeled)") +
+          ", started at this rank's collective #" +
+          std::to_string(ch.opened_at) + "); start by '" +
+          (label ? label : "(unlabeled)") + "' rejected");
     XTRA_ASSERT(sendcounts.size() == static_cast<std::size_t>(size()));
     Timer t;
 #ifndef NDEBUG
@@ -520,9 +564,21 @@ class Comm {
     // vector is free to be reused while the exchange is in flight.
     ch.counts = sendcounts;
     ch.elem = elem_size;
+    ch.label = label;
+    ch.opened_at = world_->stats(rank_).collectives;
     world_->async_slot(rank_, channel) = send;
     world_->async_aux_slot(rank_, channel) = ch.counts.data();
-    world_->sync();
+    if constexpr (verify::kEnabled) {
+      // Checksum the published payload: it belongs to the wire until
+      // finish. Staged extent = sum(counts) * elem.
+      count_t staged = 0;
+      for (const count_t c : sendcounts) staged += c;
+      world_->ledger().channel_open(
+          rank_, channel, label, send,
+          static_cast<std::size_t>(staged) * elem_size);
+    }
+    vsync(verify::Op::kA2avStart, channel, elem_size,
+          vhash_counts(sendcounts));
     // Every rank has published; peers keep their slots untouched until
     // the finish barrier, so arrival counts are already knowable here.
     ch.recvcounts.resize(static_cast<std::size_t>(size()));
@@ -552,11 +608,28 @@ class Comm {
                                  std::vector<count_t>* recvcounts_out =
                                      nullptr,
                                  int channel = 0) {
+    vguard("alltoallv_bytes_finish");
     XTRA_ASSERT(channel >= 0 && channel < kMaxChannels);
     AsyncState& ch = async_[static_cast<std::size_t>(channel)];
+    if constexpr (verify::kEnabled) {
+      if (!ch.active)
+        throw verify::ProtocolError(
+            "comm verifier: alltoallv_bytes_finish on channel " +
+            std::to_string(channel) + " with no exchange in flight (rank " +
+            std::to_string(rank_) +
+            "; nothing was started, or it was already finished)");
+    }
     XTRA_ASSERT_MSG(ch.active,
                     "alltoallv_bytes_finish without a pending start");
     Timer t;
+    if constexpr (verify::kEnabled) {
+      // Extra (unbilled) lockstep point: catches ranks finishing
+      // different channels at the same step before slot reads tear.
+      vsync(verify::Op::kA2avFinish, channel, ch.elem, 0);
+      // The published payload must be byte-identical to what start
+      // checksummed — it belonged to the wire the whole flight.
+      world_->ledger().channel_verify(rank_, channel);
+    }
     recv.resize(static_cast<std::size_t>(ch.total) * ch.elem);
     std::size_t out = 0;
     for (int r = 0; r < size(); ++r) {
@@ -589,6 +662,10 @@ class Comm {
     world_->stats(rank_).exposed_seconds +=
         std::max(0.0, ch.modeled - ch.overlap.seconds());
     ch.active = false;
+    ch.label = nullptr;
+    if constexpr (verify::kEnabled) {
+      world_->ledger().channel_close(rank_, channel);
+    }
     if (recvcounts_out) *recvcounts_out = ch.recvcounts;
     return ch.total;
   }
@@ -622,8 +699,17 @@ class Comm {
   int find_free_window() const {
     for (int w = 0; w < kMaxWindows; ++w)
       if (!win_active_[static_cast<std::size_t>(w)]) return w;
-    throw std::runtime_error("mpisim: all " + std::to_string(kMaxWindows) +
-                             " one-sided windows are exposed on this rank");
+    std::string msg = "mpisim: all " + std::to_string(kMaxWindows) +
+                      " one-sided windows are exposed on this rank (rank " +
+                      std::to_string(rank_) + "):";
+    for (int w = 0; w < kMaxWindows; ++w) {
+      const char* label = win_label_[static_cast<std::size_t>(w)];
+      msg += "\n  window " + std::to_string(w) + ": '" +
+             (label ? label : "(unlabeled)") +
+             "' — exposed at this rank's collective #" +
+             std::to_string(win_opened_at_[static_cast<std::size_t>(w)]);
+    }
+    throw std::runtime_error(msg);
   }
 
   /// Collective: expose [base, base+bytes) for passive-target access on
@@ -632,11 +718,20 @@ class Comm {
   /// win_meta (the descriptor a real rendezvous registration carries —
   /// the Exchanger publishes per-destination counts through it).
   void win_expose(void* base, std::size_t bytes,
-                  const count_t* meta = nullptr, int win = 0) {
+                  const count_t* meta = nullptr, int win = 0,
+                  const char* label = nullptr) {
+    vguard("win_expose");
     XTRA_ASSERT(win >= 0 && win < kMaxWindows);
     if (win_active_[static_cast<std::size_t>(win)])
-      throw std::runtime_error("mpisim: window " + std::to_string(win) +
-                               " is already exposed");
+      throw std::runtime_error(
+          "mpisim: window " + std::to_string(win) +
+          " is already exposed ('" +
+          (win_label_[static_cast<std::size_t>(win)]
+               ? win_label_[static_cast<std::size_t>(win)]
+               : "(unlabeled)") +
+          "', exposed at this rank's collective #" +
+          std::to_string(win_opened_at_[static_cast<std::size_t>(win)]) +
+          "); expose by '" + (label ? label : "(unlabeled)") + "' rejected");
     XTRA_ASSERT_MSG(bytes == 0 || base != nullptr,
                     "win_expose needs a base pointer when bytes > 0");
     Timer t;
@@ -644,7 +739,15 @@ class Comm {
     slot.base = static_cast<std::byte*>(base);
     slot.bytes = bytes;
     slot.meta = meta;
-    world_->sync();
+    win_label_[static_cast<std::size_t>(win)] = label;
+    win_opened_at_[static_cast<std::size_t>(win)] =
+        world_->stats(rank_).collectives;
+    if constexpr (verify::kEnabled) {
+      // Guard armed before the barrier: peers cannot touch the region
+      // until their own expose returns, i.e. after we pass it.
+      world_->ledger().window_open(rank_, win, label, base, bytes);
+    }
+    vsync(verify::Op::kWinExpose, win, 0, bytes);
     win_active_[static_cast<std::size_t>(win)] = true;
     note(0, 0, t);
   }
@@ -673,8 +776,13 @@ class Comm {
   /// (self-target reads are free, as ever).
   void win_get(int win, int target, std::size_t offset, std::size_t len,
                void* dst) {
+    vguard("win_get");
+    if constexpr (verify::kEnabled)
+      verify_win_access("win_get", win, target, offset, len);
     const auto& slot = checked_win_slot(target, win, offset, len);
-    std::memcpy(dst, slot.base + offset, len);
+    // Zero-length gets are legal at any in-bounds offset and may pass a
+    // null dst; skip the copy so that stays UB-free.
+    if (len > 0) std::memcpy(dst, slot.base + offset, len);
     note_one_sided(target, len, /*is_put=*/false);
   }
 
@@ -682,8 +790,15 @@ class Comm {
   /// exposed region at `offset`. Not a collective; bills to this rank.
   void win_put(int win, int target, std::size_t offset, std::size_t len,
                const void* src) {
+    vguard("win_put");
+    if constexpr (verify::kEnabled) {
+      verify_win_access("win_put", win, target, offset, len);
+      // Counted before the copy lands so the target's mutation check
+      // stands down for any epoch containing peer puts.
+      world_->ledger().note_put(target, win);
+    }
     const auto& slot = checked_win_slot(target, win, offset, len);
-    std::memcpy(slot.base + offset, src, len);
+    if (len > 0) std::memcpy(slot.base + offset, src, len);
     note_one_sided(target, len, /*is_put=*/true);
   }
 
@@ -691,9 +806,18 @@ class Comm {
   /// complete before any rank's post-fence accesses (barrier
   /// semantics = MPI_Win_fence).
   void win_fence(int win = 0) {
+    vguard("win_fence");
     XTRA_ASSERT(win_active_[static_cast<std::size_t>(win)]);
     Timer t;
-    world_->sync();
+    vsync(verify::Op::kWinFence, win, 0, 0);
+    if constexpr (verify::kEnabled) {
+      // Between the two barriers no peer can be mid-put (they are all
+      // fenced too), so the owner-mutation check and checksum re-arm
+      // read a quiescent buffer; the second (unbilled) barrier keeps
+      // next-epoch puts from racing the re-arm.
+      world_->ledger().window_epoch_verify(rank_, win, /*closing=*/false);
+      world_->sync();
+    }
     note(0, 0, t);
   }
 
@@ -702,23 +826,40 @@ class Comm {
   /// region is invalidated, so the owner may free/reuse the memory on
   /// return.
   void win_unexpose(int win = 0) {
+    vguard("win_unexpose");
     XTRA_ASSERT(win >= 0 && win < kMaxWindows);
+    if constexpr (verify::kEnabled) {
+      if (!win_active_[static_cast<std::size_t>(win)])
+        throw verify::ProtocolError(
+            "comm verifier: win_unexpose without a matching win_expose "
+            "(rank " +
+            std::to_string(rank_) + ", window " + std::to_string(win) + ": " +
+            world_->ledger().window_attribution(rank_, win) + ")");
+    }
     XTRA_ASSERT_MSG(win_active_[static_cast<std::size_t>(win)],
                     "win_unexpose without a matching win_expose");
     Timer t;
-    world_->sync();
+    vsync(verify::Op::kWinUnexpose, win, 0, 0);
+    if constexpr (verify::kEnabled) {
+      // All peer accesses completed at the barrier and no new epoch
+      // can open on this window, so one barrier suffices here.
+      world_->ledger().window_epoch_verify(rank_, win, /*closing=*/true);
+      world_->ledger().window_close(rank_, win);
+    }
     world_->win_slot(rank_, win) = detail::WorldState::WinSlot{};
     win_active_[static_cast<std::size_t>(win)] = false;
+    win_label_[static_cast<std::size_t>(win)] = nullptr;
     note(0, 0, t);
   }
 
   /// Gather variable-length contributions to `root` (others get {}).
   template <typename T>
   std::vector<T> gatherv(const std::vector<T>& send, int root = 0) {
+    vguard("gatherv");
     Timer t;
     world_->slot(rank_) = send.data();
     world_->size_slot(rank_) = send.size();
-    world_->sync();
+    vsync(verify::Op::kGatherv, root, sizeof(T), send.size());
     std::vector<T> recv;
     if (rank_ == root) {
       std::size_t total = 0;
@@ -740,10 +881,11 @@ class Comm {
   /// contributions in rank order.
   template <typename T>
   std::vector<T> allgatherv(const std::vector<T>& send) {
+    vguard("allgatherv");
     Timer t;
     world_->slot(rank_) = send.data();
     world_->size_slot(rank_) = send.size();
-    world_->sync();
+    vsync(verify::Op::kAllgatherv, -1, sizeof(T), send.size());
     std::size_t total = 0;
     for (int r = 0; r < size(); ++r) total += world_->size_slot(r);
     std::vector<T> recv;
@@ -792,7 +934,96 @@ class Comm {
     return out;
   }
 
+  /// Teardown checks, called by run_world after the rank function
+  /// returns (no-op when the verifier is compiled out): leaked
+  /// channels/windows throw with the opener's attribution, then a
+  /// final lockstep fingerprint converts "this rank exited while peers
+  /// still communicate" into an attributed divergence error instead of
+  /// a deadlock.
+  void verify_end_of_world() {
+    if constexpr (verify::kEnabled) {
+      std::string leaks;
+      for (int c = 0; c < kMaxChannels; ++c) {
+        if (!async_[static_cast<std::size_t>(c)].active) continue;
+        leaks += "\n  channel " + std::to_string(c) + " still in flight (" +
+                 world_->ledger().channel_attribution(rank_, c) + ")";
+      }
+      for (int w = 0; w < kMaxWindows; ++w) {
+        if (!win_active_[static_cast<std::size_t>(w)]) continue;
+        leaks += "\n  window " + std::to_string(w) + " still exposed (" +
+                 world_->ledger().window_attribution(rank_, w) + ")";
+      }
+      if (!leaks.empty())
+        throw verify::ProtocolError(
+            "comm verifier: comm resources leaked at run_world teardown on "
+            "rank " +
+            std::to_string(rank_) + ":" + leaks);
+      vsync(verify::Op::kEndOfWorld, -1, 0, 0);
+    }
+  }
+
  private:
+  // --- Verifier hooks (fold to nothing without XTRA_VERIFY_COMM) -----
+  /// Entry assertion: collectives must run on the rank thread, never
+  /// inside a par:: parallel region.
+  static void vguard(const char* entry) {
+    if constexpr (verify::kEnabled) verify::thread_guard(entry);
+  }
+
+  /// Lockstep-checked barrier, replacing a collective's first
+  /// world_->sync(): record this rank's fingerprint, cross the
+  /// barrier, cross-check every rank's fingerprint. `uniform` hashes
+  /// only rank-uniform arguments; `local` is a per-rank diagnostic
+  /// hash shown in divergence traces.
+  void vsync(verify::Op op, int id, std::uint64_t uniform,
+             std::uint64_t local) {
+    if constexpr (verify::kEnabled) {
+      world_->ledger().begin(rank_, op, id, uniform, local);
+      world_->sync();
+      world_->ledger().check(rank_);
+    } else {
+      world_->sync();
+    }
+  }
+
+  /// Hash of a counts vector for trace diagnostics; free in
+  /// non-verify builds.
+  static std::uint64_t vhash_counts(const std::vector<count_t>& counts) {
+    if constexpr (verify::kEnabled)
+      return verify::fnv1a(counts.data(), counts.size() * sizeof(count_t));
+    else
+      return 0;
+  }
+
+  /// Epoch/bounds preconditions for win_get/win_put, as attributed
+  /// ProtocolErrors (the XTRA_ASSERTs in checked_win_slot cover
+  /// non-verify builds).
+  void verify_win_access(const char* what, int win, int target,
+                         std::size_t offset, std::size_t len) const {
+    if (win < 0 || win >= kMaxWindows ||
+        !win_active_[static_cast<std::size_t>(win)]) {
+      const std::string attribution =
+          (win >= 0 && win < kMaxWindows)
+              ? world_->ledger().window_attribution(rank_, win)
+              : std::string("no such window");
+      throw verify::ProtocolError(
+          std::string("comm verifier: ") + what +
+          " outside an exposure epoch (rank " + std::to_string(rank_) +
+          ", window " + std::to_string(win) + ": " + attribution + ")");
+    }
+    const auto& slot = world_->win_slot(target, win);
+    if (offset + len > slot.bytes) {
+      throw verify::ProtocolError(
+          std::string("comm verifier: ") + what +
+          " past the exposed region (rank " + std::to_string(rank_) +
+          " accessing rank " + std::to_string(target) + ", window " +
+          std::to_string(win) + ": offset " + std::to_string(offset) +
+          " + len " + std::to_string(len) + " > " +
+          std::to_string(slot.bytes) + " bytes exposed; " +
+          world_->ledger().window_attribution(target, win) + ")");
+    }
+  }
+
   void note(count_t bytes, count_t msgs, const Timer& t) {
     note_seconds(bytes, msgs, t.seconds());
   }
@@ -851,11 +1082,17 @@ class Comm {
     Timer overlap;         ///< running since start returned
     std::vector<count_t> counts;      ///< published to peers
     std::vector<count_t> recvcounts;  ///< per-source arrivals
+    /// Always-on attribution for exhaustion/double-start diagnostics:
+    /// the opener's label and this rank's collective count at start.
+    const char* label = nullptr;
+    count_t opened_at = 0;
   };
   std::array<AsyncState, kMaxChannels> async_{};
   // Local mirror of this rank's exposed windows (rank-uniform, since
-  // expose/unexpose are collective).
+  // expose/unexpose are collective), with always-on attribution.
   std::array<bool, kMaxWindows> win_active_{};
+  std::array<const char*, kMaxWindows> win_label_{};
+  std::array<count_t, kMaxWindows> win_opened_at_{};
 };
 
 /// Launch `nranks` rank threads, each running fn(comm). Blocks until

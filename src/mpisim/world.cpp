@@ -18,6 +18,10 @@ void run_world(int nranks, const std::function<void(Comm&)>& fn,
     Comm comm(&world, rank);
     try {
       fn(comm);
+      // Leak + final-lockstep checks (no-op unless XTRA_VERIFY_COMM):
+      // inside the try so an attributed ProtocolError unwinds the
+      // world exactly like a failure in fn itself.
+      comm.verify_end_of_world();
     } catch (const WorldAborted&) {
       // Cascade from a peer's failure: the root cause was already
       // recorded (abandon() publishes the failed flag only after the

@@ -49,6 +49,7 @@ DistSpmv::DistSpmv(sim::Comm& comm, const graph::EdgeList& el,
                    const std::vector<int>& owners, Layout layout,
                    comm::ShardPolicy policy) {
   ex_.set_shard_policy(policy);
+  ex_.set_label("spmv::DistSpmv");
   XTRA_ASSERT(owners.size() == el.n);
   XTRA_ASSERT_MSG(!el.directed, "SpMV expects an undirected edge list");
   const int p = comm.size();

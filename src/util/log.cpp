@@ -10,6 +10,7 @@ namespace xtra {
 namespace {
 
 LogLevel initial_threshold() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-once startup probe
   const char* env = std::getenv("XTRA_LOG");
   if (!env) return LogLevel::kWarn;
   if (!std::strcmp(env, "debug")) return LogLevel::kDebug;

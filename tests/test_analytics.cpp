@@ -21,8 +21,8 @@ using graph::VertexDist;
 
 class AnalyticsRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, AnalyticsRanks, ::testing::Values(1, 2, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 // ---------------------------------------------------------------------------
@@ -73,8 +73,11 @@ TEST(PageRank, StarHubDominates) {
     if (comm.rank() == 0) {
       const lid_t hub = g.lid_of(0);
       ASSERT_NE(hub, kInvalidLid);
-      for (lid_t v = 0; v < g.n_local(); ++v)
-        if (v != hub) EXPECT_GT(pr.rank[hub], 3.0 * pr.rank[v]);
+      for (lid_t v = 0; v < g.n_local(); ++v) {
+        if (v != hub) {
+          EXPECT_GT(pr.rank[hub], 3.0 * pr.rank[v]);
+        }
+      }
     }
   });
 }

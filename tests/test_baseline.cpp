@@ -224,9 +224,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Case{"community", 2}, Case{"community", 8},
                       Case{"mesh", 4}, Case{"mesh", 16}, Case{"rmat", 4},
                       Case{"er", 8}),
-    [](const auto& info) {
-      return std::string(info.param.gen) + "_p" +
-             std::to_string(info.param.nparts);
+    [](const auto& inf) {
+      return std::string(inf.param.gen) + "_p" +
+             std::to_string(inf.param.nparts);
     });
 
 TEST_P(Partitioners, PulpIsValidAndBalanced) {

@@ -147,7 +147,7 @@ INSTANTIATE_TEST_SUITE_P(
     MaxSendBytes, PhasedBounds,
     ::testing::Values(sizeof(std::uint64_t), 3 * sizeof(std::uint64_t),
                       4 * 7 * sizeof(std::uint64_t), count_t(1) << 20),
-    [](const auto& info) { return "bytes_" + std::to_string(info.param); });
+    [](const auto& inf) { return "bytes_" + std::to_string(inf.param); });
 
 TEST_P(PhasedBounds, PhasedResultBitIdenticalToUnbounded) {
   const count_t bound = GetParam();
@@ -458,9 +458,9 @@ INSTANTIATE_TEST_SUITE_P(
     Topologies, HierWorlds,
     ::testing::Values(HierCase{4, 1}, HierCase{4, 2}, HierCase{8, 3},
                       HierCase{8, 4}, HierCase{16, 4}, HierCase{16, 16}),
-    [](const auto& info) {
-      return "ranks_" + std::to_string(info.param.nranks) + "_rpn_" +
-             std::to_string(info.param.ranks_per_node);
+    [](const auto& inf) {
+      return "ranks_" + std::to_string(inf.param.nranks) + "_rpn_" +
+             std::to_string(inf.param.ranks_per_node);
     });
 
 TEST_P(HierWorlds, HierarchicalBitIdenticalToFlatUnderAnyBound) {

@@ -33,8 +33,8 @@ EdgeList two_triangles_bridge() {
 
 class CoreRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, CoreRanks, ::testing::Values(1, 2, 3, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 // ---------------------------------------------------------------------------
@@ -412,10 +412,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepCase{1, 2, 1}, SweepCase{2, 2, 2},
                       SweepCase{2, 7, 3}, SweepCase{3, 16, 4},
                       SweepCase{4, 3, 5}, SweepCase{4, 32, 6}),
-    [](const auto& info) {
-      return "r" + std::to_string(info.param.nranks) + "_p" +
-             std::to_string(info.param.nparts) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& inf) {
+      return "r" + std::to_string(inf.param.nranks) + "_p" +
+             std::to_string(inf.param.nparts) + "_s" +
+             std::to_string(inf.param.seed);
     });
 
 TEST_P(PartitionSweep, InvariantsHold) {

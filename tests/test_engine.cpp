@@ -356,8 +356,8 @@ std::vector<count_t> dijkstra(const EdgeList& el, gid_t root,
 
 class SsspRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, SsspRanks, ::testing::Values(1, 2, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(SsspRanks, MatchesSerialDijkstraAcrossDeltas) {
@@ -444,8 +444,8 @@ count_t serial_triangles(const EdgeList& el) {
 
 class TriangleRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, TriangleRanks, ::testing::Values(1, 2, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(TriangleRanks, ExactWhenUnderSampleCap) {

@@ -119,8 +119,8 @@ TEST(EdgeList, SymmetrizedMergesDirections) {
 
 class DistGraphRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, DistGraphRanks, ::testing::Values(1, 2, 3, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(DistGraphRanks, ShapeAndDegreesMatchSerial) {
@@ -205,7 +205,9 @@ TEST_P(DistGraphRanks, LidGidRoundTrip) {
       bool present = false;
       for (lid_t v = 0; v < g.n_total(); ++v)
         if (g.gid_of(v) == missing) present = true;
-      if (!present) EXPECT_EQ(g.lid_of(missing), kInvalidLid);
+      if (!present) {
+        EXPECT_EQ(g.lid_of(missing), kInvalidLid);
+      }
     }
   });
 }
@@ -301,7 +303,9 @@ TEST_P(DistGraphRanks, BfsUnreachableStaysUnreached) {
     const count_t ecc = bfs_levels(comm, g, 0, levels);
     EXPECT_EQ(ecc, 2);
     for (lid_t v = 0; v < g.n_local(); ++v) {
-      if (g.gid_of(v) >= 3) EXPECT_EQ(levels[v], kUnreached);
+      if (g.gid_of(v) >= 3) {
+        EXPECT_EQ(levels[v], kUnreached);
+      }
     }
   });
 }

@@ -84,8 +84,8 @@ TEST(Evaluate, IgnoresSelfLoops) {
 
 class MetricsRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, MetricsRanks, ::testing::Values(1, 2, 3, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(MetricsRanks, DistributedMatchesSerialExactly) {

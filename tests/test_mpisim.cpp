@@ -16,8 +16,8 @@ namespace {
 class WorldSizes : public ::testing::TestWithParam<int> {};
 
 INSTANTIATE_TEST_SUITE_P(Ranks, WorldSizes, ::testing::Values(1, 2, 3, 4, 8),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(WorldSizes, RunWorldRunsEveryRankExactlyOnce) {
@@ -563,6 +563,84 @@ TEST(Windows, ExhaustionThrowsAndChannelsStayIndependent) {
     EXPECT_EQ(comm.find_free_channel(), 0);
     for (int w = 0; w < Comm::max_windows(); ++w) comm.win_unexpose(w);
     EXPECT_EQ(comm.find_free_window(), 0);
+  });
+}
+
+TEST(Windows, ZeroByteGetIsLegalAnywhereInBounds) {
+  run_world(2, [](Comm& comm) {
+    // A zero-length get is a no-op, legal at any offset <= extent —
+    // including exactly at the end of the region — and bills an op but
+    // no bytes (matching MPI's zero-count RMA semantics).
+    std::vector<std::uint64_t> mem(4, 7);
+    comm.barrier();
+    comm.reset_stats();
+    comm.win_expose(mem.data(), mem.size() * sizeof(std::uint64_t));
+    const int peer = (comm.rank() + 1) % 2;
+    comm.win_get(0, peer, 0, 0, nullptr);
+    comm.win_get(0, peer, mem.size() * sizeof(std::uint64_t), 0, nullptr);
+    comm.win_unexpose(0);
+    EXPECT_EQ(comm.stats().one_sided_gets, 2);
+    EXPECT_EQ(comm.stats().one_sided_bytes, 0);
+    EXPECT_EQ(comm.stats().bytes_sent, 0);
+  });
+}
+
+TEST(Windows, AccessesRacingTheFenceTargetDisjointBytes) {
+  const int n = 4;
+  run_world(n, [&](Comm& comm) {
+    // Ranks reach the fence at different times, so one rank's put can
+    // race another rank's pre-fence get — legal as long as the bytes
+    // are disjoint. Layout: slots [0, n) are put targets (slot r is
+    // written only by origin r), slots [n, 2n) are stable values that
+    // peers get mid-epoch while the puts are still landing.
+    std::vector<std::uint64_t> mem(static_cast<std::size_t>(2 * n), 0);
+    for (int d = 0; d < n; ++d)
+      mem[static_cast<std::size_t>(n + d)] =
+          static_cast<std::uint64_t>(comm.rank()) * 1000 +
+          static_cast<std::uint64_t>(d);
+    comm.win_expose(mem.data(), mem.size() * sizeof(std::uint64_t));
+    const std::uint64_t me = static_cast<std::uint64_t>(comm.rank());
+    for (int t = 0; t < n; ++t) {
+      comm.win_put(0, t,
+                   static_cast<std::size_t>(comm.rank()) *
+                       sizeof(std::uint64_t),
+                   sizeof(std::uint64_t), &me);
+      std::uint64_t got = 0;
+      comm.win_get(0, t,
+                   static_cast<std::size_t>(n + comm.rank()) *
+                       sizeof(std::uint64_t),
+                   sizeof(std::uint64_t), &got);
+      EXPECT_EQ(got, static_cast<std::uint64_t>(t) * 1000 + me);
+    }
+    comm.win_fence(0);
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(mem[static_cast<std::size_t>(s)],
+                static_cast<std::uint64_t>(s));
+    comm.win_unexpose(0);
+  });
+}
+
+TEST(Windows, UnexposeWaitsForPeersStillAccessingTheEpoch) {
+  run_world(3, [](Comm& comm) {
+    // Rank 0 calls win_unexpose immediately; peers keep pulling from
+    // rank 0's region right up to their own unexpose call. The
+    // collective barrier inside unexpose must hold rank 0's region
+    // valid until every peer's last pre-unexpose access completed.
+    std::vector<std::uint64_t> mem(64);
+    for (std::size_t i = 0; i < mem.size(); ++i)
+      mem[i] = static_cast<std::uint64_t>(comm.rank()) * 1000 + i;
+    comm.win_expose(mem.data(), mem.size() * sizeof(std::uint64_t));
+    if (comm.rank() != 0) {
+      for (std::size_t i = 0; i < mem.size(); ++i) {
+        std::uint64_t got = 0;
+        comm.win_get(0, 0, i * sizeof(std::uint64_t), sizeof(std::uint64_t),
+                     &got);
+        EXPECT_EQ(got, i);
+      }
+    }
+    comm.win_unexpose(0);
+    // The region is private again: the owner may rewrite it freely.
+    mem[0] = ~std::uint64_t{0};
   });
 }
 

@@ -63,8 +63,8 @@ std::vector<part_t> skewed_labels(const DistGraph& g, part_t nparts,
 
 class PhaseRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, PhaseRanks, ::testing::Values(1, 2, 4),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(PhaseRanks, VertBalanceReducesImbalance) {

@@ -81,12 +81,12 @@ INSTANTIATE_TEST_SUITE_P(
                       DrainCase{8, 1, comm::ShardPolicy::kFlat},
                       DrainCase{8, 4, comm::ShardPolicy::kHierarchical},
                       DrainCase{16, 4, comm::ShardPolicy::kHierarchical}),
-    [](const auto& info) {
-      return std::string(info.param.policy == comm::ShardPolicy::kFlat
+    [](const auto& inf) {
+      return std::string(inf.param.policy == comm::ShardPolicy::kFlat
                              ? "flat"
                              : "hier") +
-             "_ranks_" + std::to_string(info.param.nranks) + "_rpn_" +
-             std::to_string(info.param.ranks_per_node);
+             "_ranks_" + std::to_string(inf.param.nranks) + "_rpn_" +
+             std::to_string(inf.param.ranks_per_node);
     });
 
 TEST_P(DrainWorlds, DrainOneUntilDoneBitIdenticalToFinish) {
@@ -209,8 +209,9 @@ TEST_P(DrainWorlds, TryFinishPollsToCompletion) {
           EXPECT_EQ(rcounts, expect_rcounts);
           EXPECT_FALSE(ex.in_flight());
           EXPECT_EQ(ex.stats().drained_incrementally, 1);
-          if (policy == comm::ShardPolicy::kFlat && bound == 0)
+          if (policy == comm::ShardPolicy::kFlat && bound == 0) {
             EXPECT_EQ(polls, 1);
+          }
         },
         rpn);
   }

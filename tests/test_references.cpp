@@ -159,8 +159,8 @@ double serial_harmonic(const EdgeList& el, gid_t source) {
 
 class RefRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, RefRanks, ::testing::Values(1, 3),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(RefRanks, WccMatchesUnionFind) {

@@ -37,8 +37,8 @@ double serial_checksum(const EdgeList& el, int iters) {
 
 class SpmvRanks : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Ranks, SpmvRanks, ::testing::Values(1, 2, 4, 6),
-                         [](const auto& info) {
-                           return "nranks_" + std::to_string(info.param);
+                         [](const auto& inf) {
+                           return "nranks_" + std::to_string(inf.param);
                          });
 
 TEST_P(SpmvRanks, OneDMatchesSerialReference) {

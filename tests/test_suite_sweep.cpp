@@ -25,8 +25,8 @@ std::vector<std::string> all_suite_names() {
 
 INSTANTIATE_TEST_SUITE_P(Graphs, SuiteGraphs,
                          ::testing::ValuesIn(all_suite_names()),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& inf) {
+                           std::string s = inf.param;
                            for (char& c : s)
                              if (c == '-') c = '_';
                            return s;
