@@ -84,22 +84,17 @@ struct PageRankProgram {
   void mid(Ctx& ctx) { dangling = ctx.comm.allreduce_sum(dangling); }
   void apply(Ctx& ctx) {
     const double n = static_cast<double>(ctx.g.n_global());
-    // Parallel gather into per-vertex slots; the residual folds
-    // serially in lid order afterwards, so the sum's association — and
-    // hence the tol stop — is identical at every thread count.
-    par::for_chunks(static_cast<count_t>(ctx.g.n_local()),
-                    [&](count_t, count_t lo, count_t hi) {
-                      for (count_t i = lo; i < hi; ++i) {
-                        const lid_t v = static_cast<lid_t>(i);
-                        double s = 0.0;
-                        for (const lid_t u : ctx.g.neighbors(v))
-                          s += ctx.values[u];
-                        const double next =
-                            (1.0 - damping) / n + damping * (s + dangling / n);
-                        resid[v] = std::abs(next - rank[v]);
-                        rank[v] = next;
-                      }
-                    });
+    // Per-vertex gather (parallel in-core, serial out-of-core — see
+    // DenseContext::for_owned); the residual folds serially in lid
+    // order afterwards, so the sum's association — and hence the tol
+    // stop — is identical at every thread count.
+    ctx.for_owned([&](lid_t v) {
+      double s = 0.0;
+      for (const lid_t u : ctx.g.arcs(v)) s += ctx.values[u];
+      const double next = (1.0 - damping) / n + damping * (s + dangling / n);
+      resid[v] = std::abs(next - rank[v]);
+      rank[v] = next;
+    });
     for (lid_t v = 0; v < ctx.g.n_local(); ++v) ctx.residual += resid[v];
   }
   void finish(Ctx& ctx) {
@@ -136,10 +131,10 @@ struct WccProgram {
     gid_t best = ctx.values[v];
     // Undirected view: a directed graph's weak components use both
     // edge directions.
-    for (const lid_t u : ctx.g.neighbors(v))
+    for (const lid_t u : ctx.g.arcs(v))
       best = std::min(best, ctx.values[u]);
     if (ctx.g.directed())
-      for (const lid_t u : ctx.g.in_neighbors(v))
+      for (const lid_t u : ctx.g.in_arcs(v))
         best = std::min(best, ctx.values[u]);
     if (best < ctx.values[v]) {
       ctx.values[v] = best;
@@ -224,7 +219,7 @@ struct CommLpProgram {
       ctx.values[v] = ctx.g.gid_of(v);
   }
   void update(Ctx& ctx, lid_t v) {
-    const auto nbrs = ctx.g.neighbors(v);
+    const auto nbrs = ctx.g.arcs(v);
     if (nbrs.empty()) return;
     auto& labels = nbr_labels[static_cast<std::size_t>(
         par::current_slot())];  // lint-ok: per-slot scratch
@@ -317,7 +312,7 @@ struct KCoreProgram {
     auto& cores = nbr_core[static_cast<std::size_t>(
         par::current_slot())];  // lint-ok: per-slot scratch
     cores.clear();
-    for (const lid_t u : ctx.g.neighbors(v)) cores.push_back(ctx.prev[u]);
+    for (const lid_t u : ctx.g.arcs(v)) cores.push_back(ctx.prev[u]);
     const count_t h =
         std::min<count_t>(detail::h_index(cores), ctx.g.degree(v));
     if (h < ctx.values[v]) {
@@ -350,9 +345,9 @@ struct SccTrimProgram {
   void update(Ctx& ctx, lid_t v) {
     if (!ctx.values[v]) return;
     count_t out_live = 0, in_live = 0;
-    for (const lid_t u : ctx.g.neighbors(v))
+    for (const lid_t u : ctx.g.arcs(v))
       if (ctx.values[u] && u != v) ++out_live;
-    for (const lid_t u : ctx.g.in_neighbors(v))
+    for (const lid_t u : ctx.g.in_arcs(v))
       if (ctx.values[u] && u != v) ++in_live;
     if (out_live == 0 || in_live == 0) {
       ctx.values[v] = 0;
@@ -397,8 +392,8 @@ struct BfsProgram {
       }
     }
   }
-  std::span<const lid_t> nbrs(Ctx& ctx, lid_t v) const {
-    return use_in_edges ? ctx.g.in_neighbors(v) : ctx.g.neighbors(v);
+  graph::NeighborRef nbrs(Ctx& ctx, lid_t v) const {
+    return use_in_edges ? ctx.g.in_arcs(v) : ctx.g.arcs(v);
   }
   bool improves(Ctx&, lid_t /*v*/, lid_t u) const {
     return levels[u] == kInfDist && eligible(u);
@@ -462,8 +457,8 @@ struct DeltaSsspProgram {
       ctx.frontier.push_back(l);
     }
   }
-  std::span<const lid_t> nbrs(Ctx& ctx, lid_t v) const {
-    return ctx.g.neighbors(v);
+  graph::NeighborRef nbrs(Ctx& ctx, lid_t v) const {
+    return ctx.g.arcs(v);
   }
   bool improves(Ctx& ctx, lid_t v, lid_t u) const {
     return dist[v] + weight(ctx, v, u) < dist[u];
@@ -571,19 +566,15 @@ struct TriangleCountProgram {
   void init(Ctx& ctx) {
     ctx.values.assign(ctx.g.n_total(), 0.0);
     adj.resize(ctx.g.n_local());
-    // Each vertex writes only its own adjacency row: chunk-safe.
-    par::for_chunks(static_cast<count_t>(ctx.g.n_local()),
-                    [&](count_t, count_t lo, count_t hi) {
-                      for (count_t i = lo; i < hi; ++i) {
-                        const lid_t v = static_cast<lid_t>(i);
-                        auto& a = adj[v];
-                        a.clear();
-                        for (const lid_t u : ctx.g.neighbors(v))
-                          a.push_back(ctx.g.gid_of(u));
-                        std::sort(a.begin(), a.end());
-                        a.erase(std::unique(a.begin(), a.end()), a.end());
-                      }
-                    });
+    // Each vertex writes only its own adjacency row: chunk-safe
+    // (serial when out-of-core — see DenseContext::for_owned).
+    ctx.for_owned([&](lid_t v) {
+      auto& a = adj[v];
+      a.clear();
+      for (const lid_t u : ctx.g.arcs(v)) a.push_back(ctx.g.gid_of(u));
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    });
     buckets.begin(ctx.comm.size());
     scale.clear();
     center.clear();

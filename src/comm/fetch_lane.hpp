@@ -1,0 +1,106 @@
+// comm::FetchLane — the dedicated one-sided lane the out-of-core
+// segment cache pulls edge segments through (graph/segcache.hpp).
+//
+// The top window slot is reserved for the lane so the Exchanger's
+// lowest-free window scan never collides with it: an engine run may
+// keep pipeline refreshes in flight on windows [0, kMaxWindows-2]
+// while segment fetches ride the reserved slot. The practical
+// consequence is that a one-sided pipeline under an out-of-core
+// remote backing has one fewer window to play with (effective depth
+// <= kMaxWindows - 2); exceeding it fails loudly with the substrate's
+// exhaustion diagnostics naming this lane's label.
+//
+// open() is collective: every rank contributes its segment blob, the
+// designated memory rank hosts the rank-ordered concatenation in its
+// exposed region (RFP's remote-fetching pull paradigm in miniature —
+// consumers issue win_gets instead of the owner pushing), and every
+// other rank exposes an empty region so the window's lifecycle stays
+// symmetric under the comm verifier. The hosted region is read-only
+// for the whole epoch, so no fences are needed and the verifier's
+// owner-mutation checksum stays clean. get() is passive-target and
+// non-collective — billed to the fetching rank; the memory rank's own
+// fetches are self-local and free, exactly the asymmetry a far-memory
+// deployment has.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/comm.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace xtra::comm {
+
+/// Window slot reserved for segment fetches. Exchanger and HaloPlan
+/// allocate via find_free_window (lowest free first), so they only
+/// reach this slot when every other window is already busy — and then
+/// the exhaustion diagnostics name the lane that owns it.
+inline constexpr int kSegmentFetchWindow = sim::kMaxWindows - 1;
+
+class FetchLane {
+ public:
+  FetchLane() = default;
+  FetchLane(const FetchLane&) = delete;
+  FetchLane& operator=(const FetchLane&) = delete;
+
+  /// Collective. Ship `blob_bytes` of `blob` to `host_rank`, which
+  /// exposes the rank-ordered concatenation on the reserved window;
+  /// every other rank exposes an empty region on the same slot.
+  void open(sim::Comm& comm, const void* blob, std::size_t blob_bytes,
+            int host_rank) {
+    XTRA_ASSERT(!open_);
+    XTRA_ASSERT(host_rank >= 0 && host_rank < comm.size());
+    host_rank_ = host_rank;
+    std::vector<std::uint8_t> mine(
+        static_cast<const std::uint8_t*>(blob),
+        static_cast<const std::uint8_t*>(blob) + blob_bytes);
+    const std::vector<count_t> sizes = comm.allgatherv(
+        std::vector<count_t>{static_cast<count_t>(blob_bytes)});
+    my_base_ = 0;
+    for (int r = 0; r < comm.rank(); ++r)
+      my_base_ += static_cast<std::size_t>(sizes[static_cast<std::size_t>(r)]);
+    hosted_ = comm.gatherv(mine, host_rank);
+    if (comm.rank() != host_rank) {
+      hosted_.clear();
+      hosted_.shrink_to_fit();
+    }
+    comm.win_expose(hosted_.empty() ? nullptr : hosted_.data(),
+                    hosted_.size(), nullptr, kSegmentFetchWindow,
+                    "segcache fetch lane");
+    open_ = true;
+  }
+
+  /// Pull [offset, offset+len) of THIS rank's blob from the memory
+  /// rank into dst. Non-collective, passive-target.
+  void get(sim::Comm& comm, std::size_t offset, std::size_t len,
+           void* dst) const {
+    XTRA_ASSERT(open_);
+    comm.win_get(kSegmentFetchWindow, host_rank_, my_base_ + offset, len,
+                 dst);
+  }
+
+  /// Collective. Ends the exposure epoch and frees the hosted copy.
+  void close(sim::Comm& comm) {
+    if (!open_) return;
+    comm.win_unexpose(kSegmentFetchWindow);
+    hosted_.clear();
+    hosted_.shrink_to_fit();
+    open_ = false;
+  }
+
+  bool is_open() const { return open_; }
+  int host_rank() const { return host_rank_; }
+
+  /// Bytes the memory rank holds for every rank (its own view; zero
+  /// elsewhere). Introspection for tests.
+  std::size_t hosted_bytes() const { return hosted_.size(); }
+
+ private:
+  bool open_ = false;
+  int host_rank_ = 0;
+  std::size_t my_base_ = 0;          ///< this rank's offset in the host blob
+  std::vector<std::uint8_t> hosted_; ///< memory rank only
+};
+
+}  // namespace xtra::comm

@@ -21,7 +21,7 @@ double ratio_weight(double target, double est_size) {
 void apply_cut_deltas(const graph::DistGraph& g,
                       const std::vector<part_t>& parts, lid_t v, part_t x,
                       part_t w, std::vector<count_t>& change_c) {
-  for (const lid_t u : g.neighbors(v)) {
+  for (const lid_t u : g.arcs(v)) {
     const part_t pu = parts[u];
     if (pu != x) {  // was cut: remove from both sides
       --change_c[static_cast<std::size_t>(x)];

@@ -22,7 +22,7 @@ void UpdateExchanger::start(sim::Comm& comm, const graph::DistGraph& g,
   for (std::size_t qi = 0; qi < queue.size(); ++qi) {
     const lid_t v = queue[qi];
     XTRA_DEBUG_ASSERT(g.is_owned(v));
-    for (const lid_t u : g.neighbors(v)) {
+    for (const lid_t u : g.arcs(v)) {
       const int task = g.owner_of(u);
       if (task == me) continue;
       buckets_.count_once(task, qi);
@@ -35,7 +35,7 @@ void UpdateExchanger::start(sim::Comm& comm, const graph::DistGraph& g,
     const lid_t v = queue[qi];
     const gid_t gid = g.gid_of(v);
     const part_t part = parts[v];
-    for (const lid_t u : g.neighbors(v)) {
+    for (const lid_t u : g.arcs(v)) {
       const int task = g.owner_of(u);
       if (task == me) continue;
       buckets_.push_once(task, qi, {gid, part});

@@ -72,7 +72,7 @@ std::vector<part_t> init_bfs_growing(sim::Comm& comm,
     for (lid_t v = 0; v < g.n_local(); ++v) {
       if (parts[v] != kNoPart) continue;
       seen.clear();
-      for (const lid_t u : g.neighbors(v)) {
+      for (const lid_t u : g.arcs(v)) {
         const part_t pu = parts[u];
         if (pu == kNoPart) continue;
         if (seen_count[static_cast<std::size_t>(pu)] == 0) seen.push_back(pu);

@@ -35,7 +35,7 @@ std::vector<count_t> compute_cut_sizes(sim::Comm& comm,
   std::vector<count_t> sizes(static_cast<std::size_t>(nparts), 0);
   for (lid_t v = 0; v < g.n_local(); ++v) {
     const part_t pv = parts[v];
-    for (const lid_t u : g.neighbors(v))
+    for (const lid_t u : g.arcs(v))
       if (parts[u] != pv) ++sizes[static_cast<std::size_t>(pv)];
   }
   comm.allreduce_sum(sizes);

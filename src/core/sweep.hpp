@@ -28,6 +28,7 @@
 // w in in_neighbors(v) (== neighbors(v) for undirected graphs).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <utility>
 #include <vector>
@@ -64,7 +65,7 @@ class PhaseScan {
     while (static_cast<int>(slots_.size()) < par::num_threads())
       slots_.emplace_back(nparts);
     weight_ = weight;
-    par::for_chunks(n, [&](count_t c, count_t lo, count_t hi) {
+    const auto scan_chunk = [&](count_t c, count_t lo, count_t hi) {
       NeighborCounts& counts = slots_[static_cast<std::size_t>(
           par::current_slot())];  // lint-ok: per-slot scratch
       auto& out = chunk_entries_[static_cast<std::size_t>(c)];
@@ -79,7 +80,17 @@ class PhaseScan {
         loc_[static_cast<std::size_t>(v)] = {
             off, static_cast<count_t>(out.size()) - off};
       }
-    });
+    };
+    if (g.out_of_core()) {
+      // Segment borrows may issue substrate calls (remote backing),
+      // which must stay on the rank thread — replay the exact chunk
+      // decomposition serially so the cached layout is unchanged.
+      for (count_t c = 0; c < nchunks; ++c)
+        scan_chunk(c, c * par::kChunkGrain,
+                   std::min(n, (c + 1) * par::kChunkGrain));
+    } else {
+      par::for_chunks(n, scan_chunk);
+    }
   }
 
   /// Materialize v's neighbor-part counts for the commit pass: replay
@@ -101,7 +112,7 @@ class PhaseScan {
   /// Record that v moved: every owned vertex whose counts include v
   /// must recount live from here on.
   void mark_moved(const graph::DistGraph& g, lid_t v) {
-    for (const lid_t u : g.in_neighbors(v))
+    for (const lid_t u : g.in_arcs(v))
       if (g.is_owned(u)) dirty_[static_cast<std::size_t>(u)] = 1;
   }
 
@@ -123,10 +134,10 @@ class PhaseScan {
                        const std::vector<part_t>& parts, lid_t v,
                        NeighborCounts& counts) const {
     if (weight_ == Weight::kDegree) {
-      for (const lid_t u : g.neighbors(v))
+      for (const lid_t u : g.arcs(v))
         counts.add(parts[u], static_cast<double>(g.degree(u)));
     } else {
-      for (const lid_t u : g.neighbors(v)) counts.add(parts[u], 1.0);
+      for (const lid_t u : g.arcs(v)) counts.add(parts[u], 1.0);
     }
   }
 

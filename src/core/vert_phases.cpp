@@ -90,20 +90,20 @@ void vert_balance_phase(sim::Comm& comm, const graph::DistGraph& g,
     if (cur_max > st.imb_v && moved < cur_max - st.imb_v) {
       // Fill every underweight part, each rank contributing at most
       // its share of that part's headroom (no overshoot possible).
-      lid_t scan = 0;
+      lid_t cursor = 0;
       for (part_t target = 0; target < p; ++target) {
         count_t budget =
             (st.imb_v - st.size_v[static_cast<std::size_t>(target)]) /
             (2 * static_cast<count_t>(st.nprocs));
-        for (; scan < g.n_local() && budget > 0; ++scan) {
-          const part_t x = parts[scan];
+        for (; cursor < g.n_local() && budget > 0; ++cursor) {
+          const part_t x = parts[cursor];
           if (x == target) continue;
           if (st.size_v[static_cast<std::size_t>(x)] <= st.imb_v) continue;
           if (!st.can_leave(x)) continue;
           --st.change_v[static_cast<std::size_t>(x)];
           ++st.change_v[static_cast<std::size_t>(target)];
-          parts[scan] = target;
-          queue.push_back(scan);
+          parts[cursor] = target;
+          queue.push_back(cursor);
           --budget;
         }
       }

@@ -15,7 +15,7 @@
 //   struct P {
 //     using Notify = ...;            // trivially copyable wire record
 //     void init(Ctx&);               // seed data + ctx.frontier
-//     std::span<const lid_t> nbrs(Ctx&, lid_t v);
+//     graph::NeighborRef nbrs(Ctx&, lid_t v);  // via g.arcs()/in_arcs()
 //     bool improves(Ctx&, lid_t v, lid_t u);   // read-only edge test
 //     bool relax(Ctx&, lid_t v, lid_t u);      // apply; true = improved
 //     Notify make_notify(Ctx&, lid_t ghost);   // post-scan wire record
@@ -80,14 +80,23 @@ Stats run_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
   const count_t start_bytes = comm.stats().bytes_sent;
   Timer timer;
 
+  const graph::SegCacheStats seg_start = g.segcache_stats();
   FrontierContext<P> ctx{comm, g, cfg};
   graph::FrontierStepper<typename P::Notify> stepper(cfg.max_exchange_bytes,
                                                      cfg.shard_policy,
                                                      cfg.backend);
   p.init(ctx);
 
+  std::vector<count_t> plan;  // out-of-core: per-level prefetch order
   const count_t limit = detail::superstep_limit(cfg);
   while (ctx.superstep < limit && comm.allreduce_or(!ctx.frontier.empty())) {
+    if (g.out_of_core()) {
+      // The stepper scans exactly the frontier, in order — that IS
+      // the prefetch plan for this level.
+      plan.clear();
+      for (const lid_t v : ctx.frontier) g.append_arc_segments(v, plan);
+      g.set_prefetch_plan(plan);
+    }
     stepper.step(
         comm, g, ctx.frontier, ctx.next,
         [&](lid_t v) { return p.nbrs(ctx, v); },
@@ -104,6 +113,7 @@ Stats run_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
 
   stats.supersteps = ctx.superstep;
   merge(stats.exchange, stepper.exchanger().stats());
+  detail::fold_segcache_delta(stats.exchange, seg_start, g.segcache_stats());
   stats.seconds = timer.seconds();
   stats.comm_bytes = comm.stats().bytes_sent - start_bytes;
   return stats;

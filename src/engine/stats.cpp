@@ -10,7 +10,7 @@ void merge(comm::ExchangeStats& into, const comm::ExchangeStats& from) {
 }
 
 std::string Stats::to_json() const {
-  char buf[768];
+  char buf[1152];
   std::snprintf(
       buf, sizeof(buf),
       "{\"seconds\": %.6f, \"comm_bytes\": %lld, \"supersteps\": %lld, "
@@ -21,7 +21,10 @@ std::string Stats::to_json() const {
       "\"coalesced_flushes\": %lld, \"overlapped\": %lld, "
       "\"max_inflight_bytes\": %lld, \"drained_incrementally\": %lld, "
       "\"pipeline_carried\": %lld, \"max_pipeline_depth\": %lld, "
-      "\"one_sided_gets\": %lld, \"one_sided_bytes\": %lld}",
+      "\"one_sided_gets\": %lld, \"one_sided_bytes\": %lld, "
+      "\"seg_hits\": %lld, \"seg_misses\": %lld, \"seg_evictions\": %lld, "
+      "\"seg_prefetch_hits\": %lld, \"seg_fetch_bytes\": %lld, "
+      "\"seg_stall_seconds\": %.6f}",
       seconds, static_cast<long long>(comm_bytes),
       static_cast<long long>(supersteps), num_threads,
       static_cast<long long>(exchange.exchanges),
@@ -38,7 +41,13 @@ std::string Stats::to_json() const {
       static_cast<long long>(exchange.pipeline_carried),
       static_cast<long long>(exchange.max_pipeline_depth),
       static_cast<long long>(exchange.one_sided_gets),
-      static_cast<long long>(exchange.one_sided_bytes));
+      static_cast<long long>(exchange.one_sided_bytes),
+      static_cast<long long>(exchange.seg_hits),
+      static_cast<long long>(exchange.seg_misses),
+      static_cast<long long>(exchange.seg_evictions),
+      static_cast<long long>(exchange.seg_prefetch_hits),
+      static_cast<long long>(exchange.seg_fetch_bytes),
+      exchange.seg_stall_seconds);
   return buf;
 }
 

@@ -39,7 +39,7 @@ count_t bfs_levels(sim::Comm& comm, const DistGraph& g, gid_t root,
     stepper.step(
         comm, g, frontier, next,
         [&](lid_t v) {
-          return use_in_edges ? g.in_neighbors(v) : g.neighbors(v);
+          return use_in_edges ? g.in_arcs(v) : g.arcs(v);
         },
         [&](lid_t /*v*/, lid_t u) { return levels[u] == kUnreached; },
         [&](lid_t /*v*/, lid_t u) { return try_mark(u); },

@@ -17,11 +17,13 @@
 // (each edge appears in both endpoints' adjacency).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/dist.hpp"
 #include "graph/edge_list.hpp"
+#include "graph/segcache.hpp"
 #include "mpisim/comm.hpp"
 #include "util/flat_map.hpp"
 #include "util/types.hpp"
@@ -44,7 +46,9 @@ class DistGraph {
   lid_t n_ghost() const { return n_ghost_; }
   lid_t n_total() const { return n_local_ + n_ghost_; }
   /// Number of local adjacency entries (out-edges of owned vertices).
-  count_t m_local() const { return static_cast<count_t>(adj_.size()); }
+  count_t m_local() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
 
   bool is_owned(lid_t l) const { return l < n_local_; }
   gid_t gid_of(lid_t l) const { return lid_to_gid_[l]; }
@@ -60,9 +64,11 @@ class DistGraph {
   /// Local out-degree of an owned vertex (== degree for undirected).
   count_t out_degree(lid_t l) const { return offsets_[l + 1] - offsets_[l]; }
 
-  /// Out-neighborhood of an owned vertex, as local ids.
+  /// Out-neighborhood of an owned vertex, as local ids. In-core path
+  /// only — out-of-core callers must go through arcs().
   std::span<const lid_t> neighbors(lid_t l) const {
     XTRA_DEBUG_ASSERT(l < n_local_);
+    XTRA_DEBUG_ASSERT(!segcache_);
     return {adj_.data() + offsets_[l],
             static_cast<std::size_t>(offsets_[l + 1] - offsets_[l])};
   }
@@ -70,9 +76,34 @@ class DistGraph {
   /// In-neighborhood (directed graphs only; == neighbors otherwise).
   std::span<const lid_t> in_neighbors(lid_t l) const {
     XTRA_DEBUG_ASSERT(l < n_local_);
+    XTRA_DEBUG_ASSERT(!segcache_);
     if (!directed_) return neighbors(l);
     return {in_adj_.data() + in_offsets_[l],
             static_cast<std::size_t>(in_offsets_[l + 1] - in_offsets_[l])};
+  }
+
+  /// Out-neighborhood through the uniform borrow API: a zero-copy
+  /// span wrapper in-core, a pinned/stitched SegmentCache::Ref when
+  /// out-of-core. Valid for range-for (`for (lid_t u : g.arcs(v))`).
+  NeighborRef arcs(lid_t l) const {
+    XTRA_DEBUG_ASSERT(l < n_local_);
+    if (!segcache_)
+      return NeighborRef(std::span<const lid_t>(
+          adj_.data() + offsets_[l],
+          static_cast<std::size_t>(offsets_[l + 1] - offsets_[l])));
+    return segcache_->borrow(offsets_[l], offsets_[l + 1]);
+  }
+
+  /// In-neighborhood through the borrow API (== arcs undirected).
+  NeighborRef in_arcs(lid_t l) const {
+    XTRA_DEBUG_ASSERT(l < n_local_);
+    if (!directed_) return arcs(l);
+    if (!segcache_)
+      return NeighborRef(std::span<const lid_t>(
+          in_adj_.data() + in_offsets_[l],
+          static_cast<std::size_t>(in_offsets_[l + 1] - in_offsets_[l])));
+    return segcache_->borrow(in_base_ + in_offsets_[l],
+                             in_base_ + in_offsets_[l + 1]);
   }
 
   count_t in_degree(lid_t l) const {
@@ -86,6 +117,34 @@ class DistGraph {
   /// Sum over owned vertices of degree (== 2*m_global for undirected
   /// graphs once allreduced).
   count_t local_degree_sum() const;
+
+  /// --- Out-of-core mode (DESIGN.md §9) ---
+  /// Move the adjacency arrays into a bounded SegmentCache. Collective
+  /// when opt.backing == kRemote (opens the reserved fetch-lane
+  /// window). While active, neighbors()/in_neighbors() are forbidden
+  /// and every sweep must run serial (the engine keys off
+  /// out_of_core()).
+  void enable_out_of_core(sim::Comm& comm, const SegCacheOptions& opt);
+  /// Restore the in-core arrays; collective for kRemote.
+  void disable_out_of_core(sim::Comm& comm);
+  bool out_of_core() const { return segcache_ != nullptr; }
+  /// Cache ledger so far; all-zero when in-core.
+  SegCacheStats segcache_stats() const {
+    return segcache_ ? segcache_->stats() : SegCacheStats{};
+  }
+  const SegmentCache* segcache() const { return segcache_.get(); }
+
+  /// Append vertex l's out-adjacency segment ids to `plan` (dedup vs
+  /// the last entry); no-op in-core. Engine drivers build prefetch
+  /// plans from the sweep order with these.
+  void append_arc_segments(lid_t l, std::vector<count_t>& plan) const;
+  void append_in_arc_segments(lid_t l, std::vector<count_t>& plan) const;
+  void set_prefetch_plan(std::vector<count_t> plan) const {
+    if (segcache_) segcache_->set_plan(std::move(plan));
+  }
+  void restart_prefetch_plan() const {
+    if (segcache_) segcache_->restart_plan();
+  }
 
  private:
   friend DistGraph build_dist_graph(sim::Comm&, const EdgeList&,
@@ -109,6 +168,14 @@ class DistGraph {
   std::vector<lid_t> in_adj_;
 
   std::vector<count_t> degree_;  // n_local + n_ghost, global degrees
+
+  // Out-of-core state: when segcache_ is set, adj_/in_adj_ are empty
+  // and live in the cache's backing as the concatenation
+  // [adj_ | in_adj_]; in_base_ is the in-region's entry offset.
+  // Mutable so the const engine/analytics surface can borrow and
+  // steer prefetch; logically the graph is still read-only.
+  mutable std::unique_ptr<SegmentCache> segcache_;
+  count_t in_base_ = 0;
 };
 
 /// Build the distributed graph collectively. Every rank passes the same

@@ -27,6 +27,7 @@
 // only one exchange is in flight across the two passes.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <utility>
 #include <vector>
@@ -112,7 +113,7 @@ class FrontierStepper {
       scan_owned_.resize(static_cast<std::size_t>(nchunks));
       scan_ghost_.resize(static_cast<std::size_t>(nchunks));
     }
-    par::for_chunks(nf, [&](count_t c, count_t lo, count_t hi) {
+    const auto scan_chunk = [&](count_t c, count_t lo, count_t hi) {
       auto& owned = scan_owned_[static_cast<std::size_t>(c)];
       auto& ghost = scan_ghost_[static_cast<std::size_t>(c)];
       owned.clear();
@@ -124,7 +125,18 @@ class FrontierStepper {
           (g.is_owned(u) ? owned : ghost).push_back({v, u});
         }
       }
-    });
+    };
+    if (g.out_of_core()) {
+      // Out-of-core: nbrs(v) borrows segments, which may issue
+      // substrate calls (remote backing) — those stay on the rank
+      // thread. Same chunk decomposition, so phase B's replay order
+      // (and hence marks and wire records) is unchanged.
+      for (count_t c = 0; c < nchunks; ++c)
+        scan_chunk(c, c * par::kChunkGrain,
+                   std::min(nf, (c + 1) * par::kChunkGrain));
+    } else {
+      par::for_chunks(nf, scan_chunk);
+    }
     for (count_t c = 0; c < nchunks; ++c) {
       for (const auto& [v, u] : scan_ghost_[static_cast<std::size_t>(c)])
         if (relax(v, u) && !marked_[u]) {

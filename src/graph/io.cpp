@@ -1,13 +1,61 @@
 #include "graph/io.hpp"
 
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "util/assert.hpp"
 
 namespace xtra::graph {
+
+SpillFile::SpillFile() {
+  const char* dir = std::getenv("TMPDIR");
+  std::string tmpl = std::string(dir && *dir ? dir : "/tmp") +
+                     "/xtra_spill_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  fd_ = ::mkstemp(buf.data());
+  if (fd_ < 0) throw std::runtime_error("SpillFile: mkstemp failed");
+  ::unlink(buf.data());
+}
+
+SpillFile::~SpillFile() {
+  if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SpillFile::append(const void* src, std::size_t len) {
+  XTRA_ASSERT_MSG(map_ == nullptr, "SpillFile: append after finalize");
+  const char* p = static_cast<const char*>(src);
+  while (len > 0) {
+    const ::ssize_t w = ::write(fd_, p, len);
+    if (w < 0) throw std::runtime_error("SpillFile: write failed");
+    p += w;
+    len -= static_cast<std::size_t>(w);
+    size_ += static_cast<std::size_t>(w);
+  }
+}
+
+void SpillFile::finalize() {
+  XTRA_ASSERT_MSG(map_ == nullptr, "SpillFile: double finalize");
+  if (size_ == 0) return;  // nothing to map; read() of len 0 stays legal
+  void* m = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd_, 0);
+  if (m == MAP_FAILED) throw std::runtime_error("SpillFile: mmap failed");
+  map_ = static_cast<const unsigned char*>(m);
+}
+
+void SpillFile::read(std::size_t offset, std::size_t len, void* dst) const {
+  if (len == 0) return;
+  XTRA_ASSERT_MSG(map_ != nullptr, "SpillFile: read before finalize");
+  XTRA_ASSERT(offset + len <= size_);
+  std::memcpy(dst, map_ + offset, len);
+}
 
 namespace {
 

@@ -78,7 +78,7 @@ QualityReport evaluate_dist(sim::Comm& comm, const graph::DistGraph& g,
       core::compute_cut_sizes(comm, g, parts, nparts);
   count_t local_cut_arcs = 0;
   for (lid_t v = 0; v < g.n_local(); ++v)
-    for (const lid_t u : g.neighbors(v))
+    for (const lid_t u : g.arcs(v))
       if (parts[u] != parts[v]) ++local_cut_arcs;
   // Each cut edge appears as one arc at each endpoint's owner.
   const count_t cut = comm.allreduce_sum(local_cut_arcs) / 2;

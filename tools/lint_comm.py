@@ -22,6 +22,12 @@ Rules, matched against comment- and string-stripped source:
                       into results (per-slot scratch, diagnostics); the
                       MPI+X contract says observables never key on the
                       executing worker.
+  E  file-io          Direct file I/O (fopen/fread/fwrite, std::ifstream
+                      and friends, mmap/mkstemp) in src/ may appear only
+                      in src/graph/io and the segment-backing layer
+                      (src/graph/segcache). Every spill byte must flow
+                      through io::SpillFile so the out-of-core ledger
+                      and cleanup stay accountable in one place.
 
 A violation line can be waived with a trailing `// lint-ok: <reason>`
 comment; rule A is deliberately not waivable.
@@ -65,6 +71,14 @@ THREAD_OBSERVABLE = re.compile(
 )
 # The par:: layer defines/owns these; it is exempt from rule D.
 THREAD_OBSERVABLE_EXEMPT = ("src/util/parallel.hpp", "src/util/parallel.cpp")
+
+FILE_IO = re.compile(
+    r"\bfopen\s*\(|\bfread\s*\(|\bfwrite\s*\(|"
+    r"\b[io]?fstream\b|"
+    r"\bmmap\s*\(|\bmunmap\s*\(|\bmkstemp\s*\("
+)
+# Rule E applies to src/ only; these own the spill path.
+FILE_IO_ALLOWED = ("src/graph/io", "src/graph/segcache")
 
 LINT_OK = re.compile(r"lint-ok:")
 
@@ -173,6 +187,18 @@ def lint_file(relpath, text):
                     "worker-identity read without a `lint-ok:` annotation — "
                     "observables must not key on the executing thread",
                 )
+            if (
+                FILE_IO.search(line)
+                and not relpath.startswith(FILE_IO_ALLOWED)
+                and not waived
+            ):
+                yield (
+                    "E",
+                    lineno,
+                    raw,
+                    "direct file I/O outside src/graph/io|src/graph/segcache "
+                    "— spill through io::SpillFile",
+                )
 
 
 def iter_sources(root):
@@ -230,6 +256,23 @@ SELF_TEST_CASES = [
     ("src/core/foo.cpp", "auto id = std::this_thread::get_id();\n", ["D"]),
     # A declaration is not a call: no parenthesis-following-token, no fire.
     ("src/core/foo.cpp", "count_t win_bytes_total;\n", []),
+    ("src/core/foo.cpp", 'FILE* f = std::fopen(p, "rb");\n', ["E"]),
+    ("src/engine/foo.cpp", "std::ifstream in(path);\n", ["E"]),
+    ("src/comm/foo.cpp", "void* m = ::mmap(nullptr, n, p, f, fd, 0);\n", ["E"]),
+    ("src/core/foo.cpp", "int fd = mkstemp(buf.data());\n", ["E"]),
+    # The spill layer owns direct I/O.
+    ("src/graph/io.cpp", 'FILE* f = std::fopen(p, "rb");\n', []),
+    ("src/graph/segcache.cpp", "void* m = ::mmap(0, n, p, f, fd, 0);\n", []),
+    # Rule E is src-only (tools/tests/bench may read fixtures) + waivable.
+    ("tests/test_x.cpp", "std::ifstream in(path);\n", []),
+    ("bench/bench_x.cpp", 'FILE* f = std::fopen(p, "r");\n', []),
+    (
+        "src/metrics/foo.cpp",
+        "std::ofstream out(p);  // lint-ok: report sink, not spill\n",
+        [],
+    ),
+    # Prose never fires.
+    ("src/core/foo.cpp", "// uses mmap() under the hood\n", []),
 ]
 
 
