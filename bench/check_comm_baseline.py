@@ -78,11 +78,30 @@ between the two builds means a verifier hook leaked into the wire
 accounting. Timing metrics are exempt (the verifier legitimately costs
 wall clock).
 
+With --serving-bench, the serving bench's SERVE_STATS_JSON block rides
+the same machinery (same scraper, same tolerance compare) against
+bench/baselines/serve_stats.json, keyed by (bench, nranks,
+slot_budget), plus two absolute contracts. Packing: every serve_mix
+row must spend strictly fewer collectives per query than its
+serve_mix_perquery twin (slot budget 1) at the same rank count — one
+shared ledger allreduce per packed superstep is why the batched
+frontier exists — while moving the same payload within a small slack
+(the ledger vector itself is budget-sized, so its allreduce bytes
+shift slightly with packing). Determinism: the serve_mix_onesided and
+serve_mix_t8 twins must reproduce serve_mix's whole latency ledger
+(p50/p95/p99, qps, supersteps/query, occupancy, virtual seconds)
+EXACTLY — the wire backend and the thread width are pure throughput
+knobs under the virtual clock. Wire metrics are per-backend and
+exempt from the determinism parity. --serving-only skips the comm
+sweep for a serving-gate-only CI job.
+
 Usage:
   python3 bench/check_comm_baseline.py --bench build/bench_micro_exchange
   python3 bench/check_comm_baseline.py --bench ... --update   # refresh
   python3 bench/check_comm_baseline.py --bench ... \\
       --compare-bench build-verify/bench_micro_exchange
+  python3 bench/check_comm_baseline.py --serving-only \\
+      --serving-bench build/bench_serving
 """
 import argparse
 import json
@@ -139,6 +158,23 @@ PARITY_METRICS = ("bytes_per_iter", "collectives_per_iter",
                   "inter_node_msgs_per_iter",
                   "one_sided_bytes_per_iter",
                   "seg_fetch_bytes")
+# --- Serving gates (SERVE_STATS_JSON from bench_serving) ------------
+SERVE_BASELINE = pathlib.Path(__file__).parent / "baselines" \
+    / "serve_stats.json"
+SERVE_COMPARED = ("p99_ms", "collectives_per_query", "bytes_per_query")
+# The per-source twin of the batched serve_mix row (slot budget 1).
+SERVE_PAIRS = ("serve_mix", "serve_mix_perquery")
+# The batched row repacks WHEN ledger collectives happen, and the
+# ledger vector itself scales with the slot budget, so payload parity
+# holds only within a small slack (measured drift ~1.3%).
+SERVE_BYTES_SLACK = 1.05
+# serve_mix twins that must reproduce the exact same latency ledger:
+# backend and thread width are throughput knobs under the virtual
+# clock (DESIGN.md §10). Wire metrics are per-backend and exempt.
+SERVE_DETERMINISM_TWINS = ("serve_mix_onesided", "serve_mix_t8")
+SERVE_DETERMINISM_METRICS = ("p50_ms", "p95_ms", "p99_ms",
+                             "queries_per_sec", "slot_occupancy",
+                             "supersteps_per_query", "virtual_seconds")
 
 
 def run_bench(bench, min_time):
@@ -175,16 +211,32 @@ def run_bench(bench, min_time):
              f"(full output of every attempt above)")
 
 
-def parse_rows(stdout):
-    marker = "COMM_STATS_JSON"
+def run_serving(bench):
+    # bench_serving is a plain binary (no google-benchmark harness):
+    # everything it reports is virtual-clock, so there is no min-time
+    # to sweep.
+    proc = subprocess.run([bench], capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"serving bench '{bench}' exited with {proc.returncode}")
+    return proc.stdout
+
+
+def parse_rows(stdout, marker="COMM_STATS_JSON"):
+    """The one stats scraper: find `marker`, JSON-decode the list that
+    follows it. Both COMM_STATS_JSON and SERVE_STATS_JSON ride it."""
     at = stdout.find(marker)
     if at < 0:
-        sys.exit("no COMM_STATS_JSON block in bench output")
+        sys.exit(f"no {marker} block in bench output")
     return json.loads(stdout[at + len(marker):])
 
 
 def key_of(row):
     return (row["bench"], row["nranks"], row["max_send_bytes"])
+
+
+def serve_key_of(row):
+    return (row["bench"], row["nranks"], row["slot_budget"])
 
 
 def check_hier_contract(current):
@@ -417,6 +469,114 @@ def check_verifier_parity(current, other):
     return failures
 
 
+def check_multisource_contract(current):
+    """Batched serve_mix rows must spend strictly fewer collectives
+    per query than their per-source twins at every swept rank count,
+    at (near-)equal payload bytes — packing amortizes the superstep
+    collectives, it must not smuggle extra payload."""
+    failures = []
+    batched_name, perquery_name = SERVE_PAIRS
+    pairs = 0
+    for key, batched in current.items():
+        if key[0] != batched_name:
+            continue
+        twin = next((r for k, r in current.items()
+                     if k[0] == perquery_name and k[1] == key[1]), None)
+        if twin is None:
+            failures.append(f"{key}: no {perquery_name} twin row to "
+                            f"compare against")
+            continue
+        pairs += 1
+        b, p = (r.get("collectives_per_query", 0.0)
+                for r in (batched, twin))
+        if not b < p:
+            failures.append(
+                f"{key}: collectives_per_query {b:.3f} not strictly "
+                f"below per-source twin's {p:.3f}")
+        bb, pb = (r.get("bytes_per_query", 0.0) for r in (batched, twin))
+        if bb > pb * SERVE_BYTES_SLACK or pb > bb * SERVE_BYTES_SLACK:
+            failures.append(
+                f"{key}: bytes_per_query {bb:.1f} vs per-source twin's "
+                f"{pb:.1f} — packing must not change what travels "
+                f"(slack {SERVE_BYTES_SLACK})")
+    if pairs == 0:
+        failures.append(
+            f"no ({batched_name}, {perquery_name}) pairs in the current "
+            f"serving run")
+    return failures
+
+
+def check_serve_determinism(current):
+    """The one-sided and 8-thread twins must reproduce serve_mix's
+    latency ledger exactly: same seed + same trace => byte-identical
+    per-query latencies on either backend at any thread width."""
+    failures = []
+    pairs = 0
+    for key, row in current.items():
+        if key[0] not in SERVE_DETERMINISM_TWINS:
+            continue
+        base = next((r for k, r in current.items()
+                     if k[0] == SERVE_PAIRS[0] and k[1] == key[1]), None)
+        if base is None:
+            failures.append(f"{key}: no serve_mix row to compare against")
+            continue
+        pairs += 1
+        for metric in SERVE_DETERMINISM_METRICS:
+            a = row.get(metric, 0.0)
+            b = base.get(metric, 0.0)
+            # Exact modulo the fixed-point formatting of the block.
+            if abs(a - b) > 1e-9 * max(1.0, abs(b)):
+                failures.append(
+                    f"{key}: {metric} {a} drifted from serve_mix's {b} "
+                    f"(backend/threads must not touch the virtual clock)")
+    if pairs == 0:
+        failures.append("no serve determinism twins in the current "
+                        "serving run")
+    return failures
+
+
+def serving_section(args):
+    """Sweep bench_serving, gate its SERVE_STATS_JSON block. Returns
+    the failure list, or None when --update rewrote the baseline."""
+    rows = sorted(parse_rows(run_serving(args.serving_bench),
+                             marker="SERVE_STATS_JSON"),
+                  key=serve_key_of)
+    current = {serve_key_of(r): r for r in rows}
+
+    if args.dump:
+        dump = pathlib.Path(args.dump + ".serving")
+        dump.parent.mkdir(parents=True, exist_ok=True)
+        dump.write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"dumped {len(rows)} serving rows to {dump}")
+
+    if args.update:
+        SERVE_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        SERVE_BASELINE.write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"wrote {len(rows)} rows to {SERVE_BASELINE}")
+        return None
+
+    failures = []
+    baseline = {serve_key_of(r): r
+                for r in json.loads(SERVE_BASELINE.read_text())}
+    for key, base in sorted(baseline.items()):
+        got = current.get(key)
+        if got is None:
+            failures.append(f"{key}: serving row missing from current run")
+            continue
+        for metric in SERVE_COMPARED:
+            allowed = base[metric] * (1.0 + args.tolerance)
+            if got.get(metric, 0.0) > allowed:
+                failures.append(
+                    f"{key}: {metric} {got[metric]:.3f} > baseline "
+                    f"{base[metric]:.3f} (+{args.tolerance:.0%} allowed)")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: new serving row not in baseline: {key}")
+
+    failures += check_multisource_contract(current)
+    failures += check_serve_determinism(current)
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", default="build/bench_micro_exchange",
@@ -436,8 +596,32 @@ def main():
     ap.add_argument("--dump", metavar="PATH",
                     help="write the run's COMM_STATS_JSON rows to PATH "
                          "(CI uploads this as an artifact on gate "
-                         "failure)")
+                         "failure); a serving sweep dumps to "
+                         "PATH.serving")
+    ap.add_argument("--serving-bench", metavar="PATH",
+                    help="bench_serving binary; gates its "
+                         "SERVE_STATS_JSON block against "
+                         "baselines/serve_stats.json plus the "
+                         "multi-source and determinism contracts")
+    ap.add_argument("--serving-only", action="store_true",
+                    help="skip the comm sweep; requires --serving-bench")
     args = ap.parse_args()
+
+    if args.serving_only:
+        if not args.serving_bench:
+            ap.error("--serving-only requires --serving-bench")
+        failures = serving_section(args)
+        if failures is None:  # --update rewrote the baseline
+            return
+        if failures:
+            print(f"\nserving gate FAILED ({len(failures)} regressions):")
+            for f in failures:
+                print(f"  {f}")
+            sys.exit(1)
+        print("serving gate passed: baseline within tolerance; "
+              "multi-source packing and latency-determinism contracts "
+              "held")
+        return
 
     rows = sorted(parse_rows(run_bench(args.bench, args.min_time)),
                   key=key_of)
@@ -453,6 +637,8 @@ def main():
         BASELINE.parent.mkdir(parents=True, exist_ok=True)
         BASELINE.write_text(json.dumps(rows, indent=2) + "\n")
         print(f"wrote {len(rows)} rows to {BASELINE}")
+        if args.serving_bench:
+            serving_section(args)
         return
 
     baseline = {key_of(r): r for r in json.loads(BASELINE.read_text())}
@@ -481,6 +667,11 @@ def main():
     failures += check_onesided_contract(current)
     failures += check_segcache_contract(current)
 
+    serving = ""
+    if args.serving_bench:
+        failures += serving_section(args) or []
+        serving = ", and the serving gates held"
+
     parity = ""
     if args.compare_bench:
         other_rows = parse_rows(run_bench(args.compare_bench,
@@ -498,7 +689,8 @@ def main():
     print(f"comm baseline check passed: {len(baseline)} rows within "
           f"{args.tolerance:.0%}; hierarchical inter-node, coalesced "
           f"commLP, engine-twin, thread-twin, pipeline-depth, "
-          f"one-sided, and segcache-prefetch contracts held" + parity)
+          f"one-sided, and segcache-prefetch contracts held" + serving
+          + parity)
 
 
 if __name__ == "__main__":

@@ -107,9 +107,12 @@ KCoreResult kcore_approx(sim::Comm& comm, const graph::DistGraph& g,
                          int rounds = 20, int pipeline_depth = 0);
 
 /// Harmonic centrality (HC) of `num_sources` sampled vertices:
-/// HC(v) = sum_u 1/d(u,v), one BFS per source. The Config overload is
-/// the engine-native form: cfg routes every BFS's notification
-/// exchange (shard policy, chunk size).
+/// HC(v) = sum_u 1/d(u,v). All sources run as ONE batched
+/// multi-source BFS (MultiBfsProgram slots — one sweep and one
+/// exchange per level for the whole sample, bit-identical to the
+/// retired per-source loop). The Config overload is the engine-native
+/// form: cfg routes the shared notification exchange (shard policy,
+/// chunk size).
 struct HarmonicResult {
   RunInfo info;
   std::vector<gid_t> sources;

@@ -20,17 +20,30 @@ HarmonicResult harmonic_centrality(sim::Comm& comm,
     result.sources.push_back(
         splitmix64(seed + static_cast<std::uint64_t>(i)) % g.n_global());
 
-  for (const gid_t source : result.sources) {
-    BfsProgram bfs;
-    bfs.root = source;
-    engine::run(comm, g, bfs, cfg);
-    double local = 0.0;
-    for (lid_t v = 0; v < g.n_local(); ++v)
-      if (bfs.levels[v] > 0 && bfs.levels[v] != kInfDist)
-        local += 1.0 / static_cast<double>(bfs.levels[v]);
-    result.centrality.push_back(comm.allreduce_sum(local));
-    result.info.supersteps += bfs.ecc;
+  // One batched run: every source is a slot of the multi-source BFS,
+  // so all N traversals share each level's sweep, exchange, and
+  // termination allreduce. Slots never interact, so slot s's levels —
+  // and hence each centrality sum below, accumulated in the same lid
+  // order and reduced in the same rank order — are bit-identical to
+  // the retired per-source loop's.
+  MultiBfsProgram bfs;
+  bfs.roots = result.sources;
+  engine::run(comm, g, bfs, cfg);
+
+  std::vector<double> local(result.sources.size(), 0.0);
+  for (std::size_t s = 0; s < result.sources.size(); ++s) {
+    const std::size_t base = s * static_cast<std::size_t>(bfs.stride);
+    for (lid_t v = 0; v < g.n_local(); ++v) {
+      const count_t lv = bfs.levels[base + v];
+      if (lv > 0 && lv != kInfDist)
+        local[s] += 1.0 / static_cast<double>(lv);
+    }
   }
+  comm.allreduce_sum(local);
+  result.centrality = std::move(local);
+  // The legacy meter summed each source's eccentricity (the levels
+  // that source ran); keep the field's meaning across the migration.
+  for (const count_t e : bfs.ecc) result.info.supersteps += e;
   return result;
 }
 

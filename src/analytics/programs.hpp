@@ -414,6 +414,78 @@ struct BfsProgram {
 };
 
 // ---------------------------------------------------------------------------
+// Batched multi-source BFS — N roots, one dense slot each, advancing
+// one level per superstep through a single sweep and a single
+// exchange (engine::run_multi_frontier). Slot s's level array is
+// bit-identical to a lone BfsProgram run from roots[s] — slots never
+// interact — but the whole batch costs one termination allreduce per
+// level instead of one per source per level. This is what retired
+// harmonic centrality's per-source loop.
+
+struct MultiBfsProgram {
+  using Notify = gid_t;
+  using Ctx = engine::MultiFrontierContext<MultiBfsProgram>;
+
+  std::vector<gid_t> roots;  ///< one per slot, slot id = index
+
+  /// Slot-major levels: slot s's plane is [s * stride, (s+1) * stride).
+  std::vector<count_t> levels;
+  std::vector<count_t> max_level;  ///< per-slot local deepest level
+  std::vector<count_t> ecc;        ///< per-slot global eccentricity (finish)
+  lid_t stride = 0;                ///< n_total
+
+  count_t level_of(count_t slot, lid_t l) const {
+    return levels[static_cast<std::size_t>(slot) * stride + l];
+  }
+  bool try_mark(Ctx& ctx, count_t slot, lid_t u) {
+    count_t& lv = levels[static_cast<std::size_t>(slot) * stride + u];
+    if (lv != kInfDist) return false;
+    lv = ctx.superstep + 1;
+    return true;
+  }
+
+  void init(Ctx& ctx) {
+    ctx.num_slots = static_cast<count_t>(roots.size());
+    stride = ctx.g.n_total();
+    levels.assign(roots.size() * static_cast<std::size_t>(stride), kInfDist);
+    max_level.assign(roots.size(), 0);
+    for (count_t s = 0; s < ctx.num_slots; ++s) {
+      const gid_t root = roots[static_cast<std::size_t>(s)];
+      if (ctx.g.owner_of_gid(root) != ctx.comm.rank()) continue;
+      const lid_t l = ctx.g.lid_of(root);
+      XTRA_ASSERT(l != kInvalidLid);
+      levels[static_cast<std::size_t>(s) * stride + l] = 0;
+      ctx.frontier.push_back({s, l});
+    }
+  }
+  graph::NeighborRef nbrs(Ctx& ctx, count_t /*slot*/, lid_t v) const {
+    return ctx.g.arcs(v);
+  }
+  bool improves(Ctx&, count_t slot, lid_t /*v*/, lid_t u) const {
+    return level_of(slot, u) == kInfDist;
+  }
+  bool relax(Ctx& ctx, count_t slot, lid_t /*v*/, lid_t u) {
+    return try_mark(ctx, slot, u);
+  }
+  Notify make_notify(Ctx& ctx, count_t /*slot*/, lid_t l) const {
+    return ctx.g.gid_of(l);
+  }
+  lid_t receive(Ctx& ctx, count_t slot, const Notify& gid) {
+    const lid_t l = ctx.g.lid_of(gid);
+    XTRA_ASSERT(l != kInvalidLid && ctx.g.is_owned(l));
+    return try_mark(ctx, slot, l) ? l : kInvalidLid;
+  }
+  void post_level(Ctx& ctx) {
+    for (const graph::SlotVertex& e : ctx.next)
+      max_level[static_cast<std::size_t>(e.slot)] = ctx.superstep;
+  }
+  void finish(Ctx& ctx) {
+    ecc = max_level;
+    ctx.comm.allreduce_max(ecc);
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Delta-capped SSSP — the weighted frontier program the engine API
 // opened: synthetic deterministic edge weights (edge_weight), a
 // min-distance relax, and a delta-stepping-style cap — each superstep

@@ -62,6 +62,22 @@ concept FrontierVertexProgram =
       { p.receive(ctx, n) } -> std::convertible_to<lid_t>;
     };
 
+/// Batched multi-source frontier mode: N slot-tagged sources expand in
+/// one sweep and one exchange per level. Hooks carry a leading slot
+/// argument; frontier entries are (slot, lid) pairs.
+template <typename P>
+concept MultiSourceVertexProgram =
+    requires(P p, MultiFrontierContext<P>& ctx, count_t s, lid_t v,
+             const typename P::Notify& n) {
+      typename P::Notify;
+      p.init(ctx);
+      p.nbrs(ctx, s, v);
+      { p.improves(ctx, s, v, v) } -> std::convertible_to<bool>;
+      { p.relax(ctx, s, v, v) } -> std::convertible_to<bool>;
+      { p.make_notify(ctx, s, v) } -> std::convertible_to<typename P::Notify>;
+      { p.receive(ctx, s, n) } -> std::convertible_to<lid_t>;
+    };
+
 /// Collective: execute a vertex program under cfg's transport knobs.
 /// Result state lives in the program object; returns the unified
 /// measurement.
@@ -75,6 +91,12 @@ template <FrontierVertexProgram P>
 Stats run(sim::Comm& comm, const graph::DistGraph& g, P& p,
           const Config& cfg = {}) {
   return run_frontier(comm, g, p, cfg);
+}
+
+template <MultiSourceVertexProgram P>
+Stats run(sim::Comm& comm, const graph::DistGraph& g, P& p,
+          const Config& cfg = {}) {
+  return run_multi_frontier(comm, g, p, cfg);
 }
 
 }  // namespace xtra::engine

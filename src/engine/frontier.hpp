@@ -119,4 +119,88 @@ Stats run_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
   return stats;
 }
 
+/// Everything a multi-source frontier program's hooks see. Frontier
+/// entries are (slot, owned lid) pairs; init() sets num_slots and
+/// seeds one entry per slot whose source this rank owns. The engine
+/// swaps `frontier` and `next` after post_level, exactly the
+/// single-source loop.
+template <typename P>
+struct MultiFrontierContext {
+  MultiFrontierContext(sim::Comm& comm_, const graph::DistGraph& g_,
+                       const Config& cfg_)
+      : comm(comm_), g(g_), cfg(cfg_) {}
+
+  sim::Comm& comm;
+  const graph::DistGraph& g;
+  const Config& cfg;
+
+  std::vector<graph::SlotVertex> frontier;
+  std::vector<graph::SlotVertex> next;
+  count_t num_slots = 0;  ///< slot ids are [0, num_slots); set by init()
+  count_t superstep = 0;  ///< levels completed; current level in hooks
+};
+
+/// Collective: execute a batched multi-source frontier program — N
+/// sources advance one level per superstep through a single
+/// graph::MultiSourceStepper sweep and a single exchange — until every
+/// slot's frontier empties on every rank (one termination allreduce
+/// per level TOTAL, not per source; that amortization is the mode's
+/// reason to exist). Per-slot results are bit-identical to N separate
+/// run_frontier executions because slots never interact.
+template <typename P>
+Stats run_multi_frontier(sim::Comm& comm, const graph::DistGraph& g, P& p,
+                         const Config& cfg) {
+  Stats stats;
+  par::ThreadScope threads(cfg.num_threads);
+  stats.num_threads = par::num_threads();
+  const count_t start_bytes = comm.stats().bytes_sent;
+  Timer timer;
+
+  const graph::SegCacheStats seg_start = g.segcache_stats();
+  MultiFrontierContext<P> ctx{comm, g, cfg};
+  graph::MultiSourceStepper<typename P::Notify> stepper(
+      cfg.max_exchange_bytes, cfg.shard_policy, cfg.backend);
+  p.init(ctx);
+
+  std::vector<count_t> plan;           // out-of-core prefetch order
+  std::vector<std::uint8_t> planned;   // dedup: slots share vertices
+  const count_t limit = detail::superstep_limit(cfg);
+  while (ctx.superstep < limit && comm.allreduce_or(!ctx.frontier.empty())) {
+    if (g.out_of_core()) {
+      // The sweep visits each distinct frontier vertex's segments once
+      // per level no matter how many slots activate it — plan the
+      // first occurrence only, in frontier order.
+      plan.clear();
+      planned.assign(static_cast<std::size_t>(g.n_local()), 0);
+      for (const graph::SlotVertex& e : ctx.frontier)
+        if (!planned[e.v]) {
+          planned[e.v] = 1;
+          g.append_arc_segments(e.v, plan);
+        }
+      g.set_prefetch_plan(plan);
+    }
+    stepper.step(
+        comm, g, ctx.num_slots, ctx.frontier, ctx.next,
+        [&](count_t s, lid_t v) { return p.nbrs(ctx, s, v); },
+        [&](count_t s, lid_t v, lid_t u) { return p.improves(ctx, s, v, u); },
+        [&](count_t s, lid_t v, lid_t u) { return p.relax(ctx, s, v, u); },
+        [&](count_t s, lid_t l) { return p.make_notify(ctx, s, l); },
+        [&](count_t s, const typename P::Notify& n) {
+          return p.receive(ctx, s, n);
+        });
+    ++ctx.superstep;
+    if constexpr (requires { p.post_level(ctx); }) p.post_level(ctx);
+    std::swap(ctx.frontier, ctx.next);
+  }
+
+  if constexpr (requires { p.finish(ctx); }) p.finish(ctx);
+
+  stats.supersteps = ctx.superstep;
+  merge(stats.exchange, stepper.exchanger().stats());
+  detail::fold_segcache_delta(stats.exchange, seg_start, g.segcache_stats());
+  stats.seconds = timer.seconds();
+  stats.comm_bytes = comm.stats().bytes_sent - start_bytes;
+  return stats;
+}
+
 }  // namespace xtra::engine

@@ -192,4 +192,177 @@ class FrontierStepper {
   std::vector<std::vector<std::pair<lid_t, lid_t>>> scan_ghost_;
 };
 
+/// A frontier entry in a batched multi-source traversal: the dense
+/// query-slot id plus the local vertex it activates.
+struct SlotVertex {
+  count_t slot;
+  lid_t v;
+};
+
+/// Wire record of the multi-source step: the caller's Notify tagged
+/// with the slot it belongs to, so N concurrent traversals share one
+/// exchange per level.
+template <typename Notify>
+struct SlotNotify {
+  count_t slot;
+  Notify payload;
+};
+
+/// The batched multi-source sibling of FrontierStepper: N independent
+/// traversals (one per dense slot id in [0, num_slots)) advance one
+/// level in a single adjacency sweep and a single exchange. Slots
+/// never interact — the dedup mask and every hook are keyed on
+/// (slot, vertex) — so slot s's marks, next-frontier order, and wire
+/// records are exactly what a lone FrontierStepper would produce for
+/// that source. What changes is only the amortization: one exchange
+/// and one termination collective per level regardless of N, which is
+/// the whole point (harmonic centrality's per-source loop, the serve
+/// scheduler's packed supersteps).
+///
+/// Hook contract per step(comm, g, num_slots, frontier, next, ...):
+/// identical to FrontierStepper's, with a leading slot argument on
+/// every hook — nbrs(slot, v), improves(slot, v, u), relax(slot, v, u),
+/// make_notify(slot, ghost), receive(slot, notify) -> owned lid or
+/// kInvalidLid. The phase A/B split, the mid-flight owned relaxation,
+/// and the arrivals-after-drain ordering are the single-source
+/// protocol, unchanged.
+template <typename Notify>
+class MultiSourceStepper {
+ public:
+  explicit MultiSourceStepper(count_t max_send_bytes = 0,
+                              comm::ShardPolicy policy = comm::ShardPolicy::kFlat,
+                              comm::Backend backend = comm::Backend::kTwoSided)
+      : ex_(max_send_bytes, policy, backend) {
+    ex_.set_label("graph::MultiSourceStepper");
+  }
+
+  template <typename Nbrs, typename Improves, typename Relax,
+            typename MakeNotify, typename Receive>
+  void step(sim::Comm& comm, const DistGraph& g, count_t num_slots,
+            const std::vector<SlotVertex>& frontier,
+            std::vector<SlotVertex>& next, Nbrs&& nbrs, Improves&& improves,
+            Relax&& relax, MakeNotify&& make_notify, Receive&& receive) {
+    next.clear();
+    scanned_edges_ = 0;
+    const std::size_t stride = static_cast<std::size_t>(g.n_total());
+    const auto cell = [stride](count_t slot, lid_t l) {
+      return static_cast<std::size_t>(slot) * stride +
+             static_cast<std::size_t>(l);
+    };
+    // Stamp-cleared (slot, vertex) admission mask — the per-lid mask
+    // of the single-source stepper, one plane per slot.
+    const std::size_t cells = static_cast<std::size_t>(num_slots) * stride;
+    if (marked_.size() < cells) marked_.resize(cells, 0);
+    for (const std::size_t c : stamped_) marked_[c] = 0;
+    stamped_.clear();
+    touched_.clear();
+    cand_.clear();
+
+    // Phase A (parallel, read-only): per-chunk candidate collection,
+    // pre-filtered by improves() against the scan-start state. Each
+    // chunk also counts the neighbor entries it visits — the serve
+    // scheduler's compute billing input, a pure count and therefore
+    // identical at any thread width.
+    const count_t nf = static_cast<count_t>(frontier.size());
+    const count_t nchunks = par::chunk_count(nf);
+    if (static_cast<count_t>(scan_owned_.size()) < nchunks) {
+      scan_owned_.resize(static_cast<std::size_t>(nchunks));
+      scan_ghost_.resize(static_cast<std::size_t>(nchunks));
+    }
+    scan_edges_.assign(static_cast<std::size_t>(nchunks), 0);
+    const auto scan_chunk = [&](count_t c, count_t lo, count_t hi) {
+      auto& owned = scan_owned_[static_cast<std::size_t>(c)];
+      auto& ghost = scan_ghost_[static_cast<std::size_t>(c)];
+      count_t edges = 0;
+      owned.clear();
+      ghost.clear();
+      for (count_t i = lo; i < hi; ++i) {
+        const SlotVertex e = frontier[static_cast<std::size_t>(i)];
+        for (const lid_t u : nbrs(e.slot, e.v)) {
+          ++edges;
+          if (!improves(e.slot, e.v, u)) continue;
+          (g.is_owned(u) ? owned : ghost).push_back({e.slot, e.v, u});
+        }
+      }
+      scan_edges_[static_cast<std::size_t>(c)] = edges;
+    };
+    if (g.out_of_core()) {
+      // Segment borrows may issue substrate calls: stay on the rank
+      // thread, same chunk decomposition (replay order unchanged).
+      for (count_t c = 0; c < nchunks; ++c)
+        scan_chunk(c, c * par::kChunkGrain,
+                   std::min(nf, (c + 1) * par::kChunkGrain));
+    } else {
+      par::for_chunks(nf, scan_chunk);
+    }
+    // Phase B (serial, chunk order): ghost replay + owned concat, the
+    // single-source ordering per slot.
+    for (count_t c = 0; c < nchunks; ++c) {
+      scanned_edges_ += scan_edges_[static_cast<std::size_t>(c)];
+      for (const Cand& cd : scan_ghost_[static_cast<std::size_t>(c)])
+        if (relax(cd.slot, cd.v, cd.u) && !marked_[cell(cd.slot, cd.u)]) {
+          marked_[cell(cd.slot, cd.u)] = 1;
+          stamped_.push_back(cell(cd.slot, cd.u));
+          touched_.push_back({cd.slot, cd.u});
+        }
+      const auto& owned = scan_owned_[static_cast<std::size_t>(c)];
+      cand_.insert(cand_.end(), owned.begin(), owned.end());
+    }
+    buckets_.begin(comm.size());
+    for (const SlotVertex& t : touched_) buckets_.count(g.owner_of(t.v));
+    buckets_.commit();
+    for (const SlotVertex& t : touched_)
+      buckets_.push(g.owner_of(t.v),
+                    SlotNotify<Notify>{t.slot, make_notify(t.slot, t.v)});
+    ex_.start_inplace(comm, buckets_);
+
+    // Mid-flight owned relaxation while the notifications travel.
+    for (const Cand& cd : cand_)
+      if (relax(cd.slot, cd.v, cd.u) && !marked_[cell(cd.slot, cd.u)]) {
+        marked_[cell(cd.slot, cd.u)] = 1;
+        stamped_.push_back(cell(cd.slot, cd.u));
+        next.push_back({cd.slot, cd.u});
+      }
+    const std::span<const SlotNotify<Notify>> arrivals =
+        ex_.finish<SlotNotify<Notify>>(comm);
+    for (const SlotNotify<Notify>& n : arrivals) {
+      const lid_t l = receive(n.slot, n.payload);
+      if (l == kInvalidLid) continue;
+      XTRA_ASSERT(g.is_owned(l));
+      if (!marked_[cell(n.slot, l)]) {
+        marked_[cell(n.slot, l)] = 1;
+        stamped_.push_back(cell(n.slot, l));
+        next.push_back({n.slot, l});
+      }
+    }
+  }
+
+  /// Neighbor entries visited by the last step(), summed over chunks —
+  /// deterministic at any thread width (a pure count in chunk order).
+  count_t scanned_edges() const { return scanned_edges_; }
+
+  /// The wire engine, for stats readout and knob changes.
+  comm::Exchanger& exchanger() { return ex_; }
+  const comm::Exchanger& exchanger() const { return ex_; }
+
+ private:
+  struct Cand {
+    count_t slot;
+    lid_t v;
+    lid_t u;
+  };
+
+  comm::Exchanger ex_;
+  comm::DestBuckets<SlotNotify<Notify>> buckets_;
+  std::vector<Cand> cand_;             ///< owned candidate edges
+  std::vector<SlotVertex> touched_;    ///< (slot, ghost) pairs to notify
+  std::vector<std::uint8_t> marked_;   ///< (slot, lid) admission mask
+  std::vector<std::size_t> stamped_;   ///< marked_ cells to clear
+  count_t scanned_edges_ = 0;
+  /// Per-chunk phase-A scratch (persistent across levels).
+  std::vector<std::vector<Cand>> scan_owned_;
+  std::vector<std::vector<Cand>> scan_ghost_;
+  std::vector<count_t> scan_edges_;
+};
+
 }  // namespace xtra::graph

@@ -6,7 +6,9 @@
 #include <cmath>
 
 #include "analytics/analytics.hpp"
+#include "analytics/programs.hpp"
 #include "core/xtrapulp.hpp"
+#include "engine/engine.hpp"
 #include "gen/generators.hpp"
 #include "graph/dist_graph.hpp"
 #include "graph/halo.hpp"
@@ -221,6 +223,36 @@ TEST_P(AnalyticsRanks, HarmonicCentralityOnStar) {
       const double expect = r.sources[i] == 0 ? 5.0 : 3.0;
       EXPECT_NEAR(r.centrality[i], expect, 1e-12);
     }
+  });
+}
+
+// Pin the multi-source migration: harmonic_centrality retired its
+// per-source BFS loop for one batched MultiBfsProgram run, and this
+// regression replays the retired loop (one BfsProgram per source, a
+// scalar allreduce per centrality) expecting bit-identical output —
+// same lid-order partial sums, same rank-order allreduce fold.
+TEST_P(AnalyticsRanks, HarmonicBitIdenticalToRetiredPerSourceLoop) {
+  const int nranks = GetParam();
+  const EdgeList el = gen::erdos_renyi(500, 6, 13);
+  sim::run_world(nranks, [&](sim::Comm& comm) {
+    const DistGraph g =
+        build_dist_graph(comm, el, VertexDist::random(el.n, nranks, 3));
+    const engine::Config cfg;
+    const HarmonicResult r = harmonic_centrality(comm, g, 6, 21, cfg);
+    ASSERT_EQ(r.centrality.size(), 6u);
+    count_t supersteps = 0;
+    for (std::size_t i = 0; i < r.sources.size(); ++i) {
+      BfsProgram bfs;
+      bfs.root = r.sources[i];
+      engine::run(comm, g, bfs, cfg);
+      double local = 0.0;
+      for (lid_t v = 0; v < g.n_local(); ++v)
+        if (bfs.levels[v] > 0 && bfs.levels[v] != kInfDist)
+          local += 1.0 / static_cast<double>(bfs.levels[v]);
+      EXPECT_EQ(r.centrality[i], comm.allreduce_sum(local));
+      supersteps += bfs.ecc;
+    }
+    EXPECT_EQ(r.info.supersteps, supersteps);
   });
 }
 

@@ -347,6 +347,39 @@ TEST(EngineFrontier, BfsProgramMatchesBfsLevels) {
   });
 }
 
+// The batched multi-source stepper against N single-source runs: the
+// per-slot level planes and eccentricities must be bit-identical, and
+// the packed sweep must spend strictly fewer collectives (one
+// emptiness vote + one exchange per packed level, shared by every
+// source — the amortization the serving scheduler is built on).
+TEST(EngineFrontier, MultiBfsMatchesPerSourceBfsWithFewerCollectives) {
+  const EdgeList el = gen::erdos_renyi(800, 6, 3);
+  const std::vector<gid_t> roots = {1, 97, 401, 640};
+  sim::run_world(4, [&](sim::Comm& comm) {
+    const DistGraph g = build_graph(comm, el, VertexDist::random(el.n, 4, 3));
+    const count_t coll0 = comm.stats().collectives;
+    MultiBfsProgram multi;
+    multi.roots = roots;
+    engine::run(comm, g, multi, env_cfg());
+    const count_t multi_coll = comm.stats().collectives - coll0;
+    ASSERT_EQ(multi.ecc.size(), roots.size());
+    count_t single_coll = 0;
+    for (std::size_t s = 0; s < roots.size(); ++s) {
+      const count_t c0 = comm.stats().collectives;
+      BfsProgram p;
+      p.root = roots[s];
+      engine::run(comm, g, p, env_cfg());
+      single_coll += comm.stats().collectives - c0;
+      EXPECT_EQ(multi.ecc[s], p.ecc);
+      for (lid_t v = 0; v < g.n_total(); ++v)
+        EXPECT_EQ(
+            multi.levels[s * static_cast<std::size_t>(multi.stride) + v],
+            p.levels[v]);
+    }
+    EXPECT_LT(multi_coll, single_coll);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Delta-capped SSSP against a serial Dijkstra oracle.
 

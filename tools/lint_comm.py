@@ -28,9 +28,18 @@ Rules, matched against comment- and string-stripped source:
                       (src/graph/segcache). Every spill byte must flow
                       through io::SpillFile so the out-of-core ledger
                       and cleanup stay accountable in one place.
+  F  serve-purity     src/serve/ may read NO clock of any kind (chrono,
+                      steady/system/high_resolution_clock,
+                      clock_gettime, even util::Timer) and no thread
+                      identity: the serving latency model is the
+                      virtual clock (serve/clock.hpp), advanced only
+                      from allreduced counters, and the determinism
+                      contract (same seed + config => byte-identical
+                      per-query latencies at any thread width) dies the
+                      moment host time or a worker id leaks in.
 
 A violation line can be waived with a trailing `// lint-ok: <reason>`
-comment; rule A is deliberately not waivable.
+comment; rules A and F are deliberately not waivable.
 
 Usage:  tools/lint_comm.py [--root DIR] [--self-test]
 Exit status: 0 clean, 1 violations, 2 internal error.
@@ -79,6 +88,16 @@ FILE_IO = re.compile(
 )
 # Rule E applies to src/ only; these own the spill path.
 FILE_IO_ALLOWED = ("src/graph/io", "src/graph/segcache")
+
+# Rule F: the serving subsystem's total clock/thread-identity ban.
+# Strictly wider than rules C and D (even the sanctioned steady_clock
+# Timer is out), scoped to src/serve/, and not waivable.
+SERVE_PURITY = re.compile(
+    r"\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b|"
+    r"\bchrono\b|\bclock_gettime\s*\(|\bTimer\b|"
+    r"\bcurrent_slot\s*\(|\bthis_thread::get_id\s*\(|\bpthread_self\s*\("
+)
+SERVE_DIR = "src/serve/"
 
 LINT_OK = re.compile(r"lint-ok:")
 
@@ -199,6 +218,15 @@ def lint_file(relpath, text):
                     "direct file I/O outside src/graph/io|src/graph/segcache "
                     "— spill through io::SpillFile",
                 )
+        if relpath.startswith(SERVE_DIR) and SERVE_PURITY.search(line):
+            yield (
+                "F",
+                lineno,
+                raw,
+                "clock or thread-identity read in src/serve/ — serving "
+                "latency is the virtual clock, advanced from allreduced "
+                "counters only (not waivable)",
+            )
 
 
 def iter_sources(root):
@@ -273,6 +301,22 @@ SELF_TEST_CASES = [
     ),
     # Prose never fires.
     ("src/core/foo.cpp", "// uses mmap() under the hood\n", []),
+    # Rule F: the serve subsystem's total clock/thread ban.
+    ("src/serve/foo.cpp", "util::Timer t;\n", ["F"]),
+    ("src/serve/foo.cpp",
+     "auto t = std::chrono::steady_clock::now();\n", ["F"]),
+    # system_clock in serve trips both the src-wide rule C and F.
+    ("src/serve/foo.cpp", "auto t = system_clock::now();\n", ["C", "F"]),
+    ("src/serve/foo.cpp", "clock_gettime(CLOCK_MONOTONIC, &ts);\n", ["F"]),
+    # A waiver silences rule D but never F.
+    ("src/serve/foo.cpp",
+     "int s = par::current_slot();  // lint-ok: scratch\n", ["F"]),
+    ("src/serve/foo.cpp", "int s = par::current_slot();\n", ["D", "F"]),
+    # F is scoped to src/serve/ — the engine keeps its Timer.
+    ("src/engine/foo.cpp", "util::Timer t;\n", []),
+    # The virtual clock itself is fine; prose never fires.
+    ("src/serve/clock2.hpp", "double now() { return now_; }\n", []),
+    ("src/serve/foo.cpp", "// wall clock and Timer stay out\n", []),
 ]
 
 
